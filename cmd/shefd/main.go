@@ -1,0 +1,111 @@
+// Command shefd runs an IP Vendor attestation server: it compiles an
+// accelerator product (design + Shield configuration) into an encrypted
+// bitstream and serves Data Owner requests over TCP — bitstream fetch,
+// device registration, and host-proxied remote attestation (paper
+// Figure 3).
+//
+// Pair it with `shefctl -vendor <addr>` in another process to run the
+// two-party workflow across a real network connection.
+//
+// Usage:
+//
+//	shefd -addr :9800 -design vecadd -params bytes=1048576
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"shef/internal/accel"
+	"shef/internal/hostapp"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9800", "listen address")
+	design := flag.String("design", "vecadd", "accelerator design to offer")
+	params := flag.String("params", "", "design parameters, k=v[,k=v...]")
+	variant := flag.String("variant", "128/16x", "shield engine variant (128/4x, 128/16x, 256/4x, 256/16x, +pmac suffix)")
+	flag.Parse()
+
+	v, err := parseVariant(*variant)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := hostapp.Options{
+		Design:  *design,
+		Params:  parseParams(*params),
+		Variant: v,
+	}
+	vendor, product, err := hostapp.BuildVendor(opts)
+	if err != nil {
+		log.Fatalf("shefd: building vendor: %v", err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("shefd: %v", err)
+	}
+	fmt.Printf("shefd: serving product %q on %s\n", product, ln.Addr())
+	fmt.Printf("shefd: designs available in this build: %v\n", accel.Designs())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shefd: accept: %v\n", err)
+			return
+		}
+		go func() {
+			defer conn.Close()
+			if err := vendor.HandleOwner(conn); err != nil {
+				fmt.Fprintf(os.Stderr, "shefd: session from %s: %v\n", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func parseParams(s string) map[string]string {
+	out := map[string]string{}
+	if s == "" {
+		return out
+	}
+	for _, kv := range splitComma(s) {
+		for i := 0; i < len(kv); i++ {
+			if kv[i] == '=' {
+				out[kv[:i]] = kv[i+1:]
+				break
+			}
+		}
+	}
+	return out
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func parseVariant(s string) (accel.Variant, error) {
+	switch s {
+	case "128/4x":
+		return accel.V128x4, nil
+	case "128/16x":
+		return accel.V128x16, nil
+	case "256/4x":
+		return accel.V256x4, nil
+	case "256/16x":
+		return accel.V256x16, nil
+	case "128/16x+pmac":
+		return accel.V128x16PMAC, nil
+	}
+	return accel.Variant{}, fmt.Errorf("unknown variant %q", s)
+}

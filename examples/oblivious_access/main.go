@@ -1,0 +1,86 @@
+// Oblivious access: the paper's ORAM extension (§5.2.2) — "security
+// mechanisms against address metadata attacks, such as ORAM, can simply be
+// added by adopting open-source modules on top of Shield engines due to
+// their generic interface."
+//
+// The example stacks a Path ORAM controller on a shielded memory region.
+// The Shield hides *what* is stored; the ORAM hides *which* block a query
+// touches, so even an adversary watching every DRAM address (the Shell,
+// a bus probe) learns nothing about the access pattern. The price is a
+// measured bandwidth amplification.
+//
+//	go run ./examples/oblivious_access
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"shef/internal/crypto/aesx"
+	"shef/internal/crypto/keywrap"
+	"shef/internal/crypto/modp"
+	"shef/internal/crypto/schnorr"
+	"shef/internal/mem"
+	"shef/internal/oram"
+	"shef/internal/perf"
+	"shef/internal/shield"
+)
+
+func main() {
+	const blocks, blockSize = 128, 64
+	foot := oram.FootprintBytes(blocks, blockSize)
+	regionSize := (foot + 511) / 512 * 512
+
+	// A shielded region sized for the ORAM tree.
+	cfg := shield.Config{Regions: []shield.RegionConfig{{
+		Name: "tree", Base: 0, Size: regionSize, ChunkSize: 512,
+		AESEngines: 2, SBox: aesx.SBox16x, KeySize: aesx.AES128,
+		MAC: shield.HMAC, BufferBytes: 8 << 10, Freshness: true,
+	}}}
+	dram := mem.NewDRAM(regionSize*2+1<<16, perf.Default())
+	ocm := mem.NewOCM(1 << 30)
+	priv, _ := schnorr.GenerateKey(modp.TestGroup, nil)
+	sh, err := shield.New(cfg, priv, dram, ocm, perf.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dek := bytes.Repeat([]byte{0x42}, 32)
+	lk, _ := keywrap.Wrap(sh.PublicKey(), dek, nil)
+	if err := sh.ProvisionLoadKey(lk); err != nil {
+		log.Fatal(err)
+	}
+
+	// Path ORAM over the shielded region.
+	o, err := oram.New(sh, 0, blocks, blockSize, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ORAM: %d blocks × %d B over a %d-bucket tree (%d KB shielded)\n",
+		blocks, blockSize, o.TreeBuckets(), regionSize>>10)
+
+	// A tiny patient-record store with secret lookup indices.
+	record := func(i int) []byte {
+		return bytes.Repeat([]byte{byte(i)}, blockSize)
+	}
+	for i := 0; i < blocks; i++ {
+		if err := o.Write(i, record(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Query a few records; which ones is invisible to the memory system.
+	for _, q := range []int{17, 17, 99, 3, 17} {
+		got, err := o.Read(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(got, record(q)) {
+			log.Fatalf("record %d corrupted", q)
+		}
+	}
+	fmt.Println("queries served; repeated access to record 17 touched fresh random paths each time")
+
+	acc, moved, maxStash := o.Stats()
+	fmt.Printf("accesses: %d, backend bytes: %d, stash high-water: %d blocks\n", acc, moved, maxStash)
+	fmt.Printf("bandwidth amplification: %.1fx (the price of hiding addresses)\n", o.Amplification())
+}

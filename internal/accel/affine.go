@@ -1,0 +1,180 @@
+package accel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"shef/internal/shield"
+)
+
+// Affine is the Figure 6 affine-transformation workload from the Xilinx
+// vision suite (§6.2.4): an inverse-mapped geometric transform over a
+// 512×512 image. It "reads non-sequential data, but reads each address
+// once with no writes", so integrity counters are disabled; data moves in
+// consistent 64-byte chunks through 8 input engine sets (32 KB buffer
+// total) and 4 output sets (16 KB). Reported overheads: 1.41x-2.22x.
+type Affine struct {
+	// Dim is the square image dimension in pixels (4 bytes per pixel).
+	Dim int
+	// A fixed-point inverse transform (rotation + scale), Q16.16.
+	M00, M01, M10, M11 int64
+}
+
+const (
+	afChunk   = 64
+	afInBase  = 0x0000_0000
+	afOutBase = 0x1000_0000
+	afInSets  = 8
+	afOutSets = 4
+)
+
+// NewAffine builds the workload; params: "dim".
+func NewAffine(params map[string]string) (Workload, error) {
+	a := &Affine{
+		Dim: 256,
+		// ~15° rotation with 0.9 scaling, in Q16.16.
+		M00: 56990, M01: -15267, M10: 15267, M11: 56990,
+	}
+	if s, ok := params["dim"]; ok {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 || n%64 != 0 {
+			return nil, fmt.Errorf("accel: affine dim %q invalid (need positive multiple of 64)", s)
+		}
+		a.Dim = n
+	}
+	return a, nil
+}
+
+func init() { Register("affine", NewAffine) }
+
+// Name implements Workload.
+func (a *Affine) Name() string { return "affine" }
+
+func (a *Affine) imgBytes() int { return a.Dim * a.Dim * 4 }
+
+// ShieldConfig splits the input across 8 engine sets and the output across
+// 4, with 64-byte chunks matching the access granularity.
+func (a *Affine) ShieldConfig(variant Variant) shield.Config {
+	var regions []shield.RegionConfig
+	split := func(prefix string, base uint64, parts, bufTotal int) {
+		part := alignUp(a.imgBytes()/parts, afChunk)
+		for i := 0; i < parts; i++ {
+			regions = append(regions, shield.RegionConfig{
+				Name:        fmt.Sprintf("%s%d", prefix, i),
+				Base:        base + uint64(i*part),
+				Size:        uint64(part),
+				ChunkSize:   afChunk,
+				AESEngines:  1,
+				SBox:        variant.SBox,
+				KeySize:     variant.KeySize,
+				MAC:         variant.MAC(),
+				BufferBytes: bufTotal / parts,
+			})
+		}
+	}
+	split("in", afInBase, afInSets, 32<<10)
+	split("out", afOutBase, afOutSets, 16<<10)
+	return shield.Config{Regions: regions, Registers: 8}
+}
+
+// Inputs generates the source image across its partitions.
+func (a *Affine) Inputs(rng *rand.Rand) map[string][]byte {
+	part := alignUp(a.imgBytes()/afInSets, afChunk)
+	out := make(map[string][]byte, afInSets)
+	for i := 0; i < afInSets; i++ {
+		img := make([]byte, part)
+		rng.Read(img)
+		out[fmt.Sprintf("in%d", i)] = img
+	}
+	return out
+}
+
+// srcPixel computes the inverse-mapped source coordinate for an output
+// pixel, in Q16.16 around the image centre, nearest-neighbour sampled.
+func (a *Affine) srcPixel(x, y int) (int, int, bool) {
+	cx, cy := int64(a.Dim/2), int64(a.Dim/2)
+	dx, dy := int64(x)-cx, int64(y)-cy
+	sx := (a.M00*dx + a.M01*dy) >> 16
+	sy := (a.M10*dx + a.M11*dy) >> 16
+	px, py := int(sx+cx), int(sy+cy)
+	if px < 0 || px >= a.Dim || py < 0 || py >= a.Dim {
+		return 0, 0, false
+	}
+	return px, py, true
+}
+
+func (a *Affine) inAddr(px, py int) uint64 {
+	off := (py*a.Dim + px) * 4
+	part := alignUp(a.imgBytes()/afInSets, afChunk)
+	p := off / part
+	return afInBase + uint64(p*part+off%part)
+}
+
+// Run walks the output raster, inverse-maps each pixel, reads the source
+// pixel through the Shield (64-byte chunk granularity does the caching),
+// and streams the output row out.
+func (a *Affine) Run(ctx *Ctx) error {
+	rowOut := make([]byte, a.Dim*4)
+	var px4 [4]byte
+	outPart := alignUp(a.imgBytes()/afOutSets, afChunk)
+	for y := 0; y < a.Dim; y++ {
+		for x := 0; x < a.Dim; x++ {
+			var v uint32
+			if px, py, ok := a.srcPixel(x, y); ok {
+				if _, err := ctx.Mem.ReadBurst(a.inAddr(px, py), px4[:]); err != nil {
+					return err
+				}
+				v = binary.LittleEndian.Uint32(px4[:])
+			}
+			binary.LittleEndian.PutUint32(rowOut[x*4:], v)
+		}
+		// Address generation + interpolation datapath: 1 pixel/cycle.
+		ctx.Compute(uint64(a.Dim))
+		off := y * a.Dim * 4
+		p := off / outPart
+		if _, err := ctx.Mem.WriteBurst(afOutBase+uint64(p*outPart+off%outPart), rowOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OutputRegions implements Workload.
+func (a *Affine) OutputRegions() []string {
+	out := make([]string, afOutSets)
+	for i := range out {
+		out[i] = fmt.Sprintf("out%d", i)
+	}
+	return out
+}
+
+// Check recomputes a sample of output rows on the host.
+func (a *Affine) Check(inputs, outputs map[string][]byte) error {
+	inPart := alignUp(a.imgBytes()/afInSets, afChunk)
+	outPart := alignUp(a.imgBytes()/afOutSets, afChunk)
+	inPix := func(px, py int) uint32 {
+		off := (py*a.Dim + px) * 4
+		img := inputs[fmt.Sprintf("in%d", off/inPart)]
+		return binary.LittleEndian.Uint32(img[off%inPart:])
+	}
+	outPix := func(x, y int) uint32 {
+		off := (y*a.Dim + x) * 4
+		img := outputs[fmt.Sprintf("out%d", off/outPart)]
+		return binary.LittleEndian.Uint32(img[off%outPart:])
+	}
+	step := a.Dim/16 + 1
+	for y := 0; y < a.Dim; y += step {
+		for x := 0; x < a.Dim; x += step {
+			var want uint32
+			if px, py, ok := a.srcPixel(x, y); ok {
+				want = inPix(px, py)
+			}
+			if got := outPix(x, y); got != want {
+				return fmt.Errorf("out[%d,%d] = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package accel
+
+import (
+	"fmt"
+
+	"shef/internal/axi"
+	"shef/internal/perf"
+	"shef/internal/shield"
+)
+
+// bareCachePort is the baseline accelerator's memory path: the same
+// chunked line buffers the Shield configuration describes, with the same
+// DRAM burst behaviour, but no cryptography, no tags, and no counters.
+// Comparing the Shield against this port isolates the cost of security —
+// the quantity Figures 5-6 report — rather than crediting the Shield for
+// its caches.
+type bareCachePort struct {
+	inner   axi.MemoryPort
+	params  perf.Params
+	regions []*bareRegion
+}
+
+type bareRegion struct {
+	cfg      shield.RegionConfig
+	lines    map[int]*bufEntry
+	capacity int
+	tick     uint64
+
+	// share is the number of ports contending for this region's channel.
+	share      int
+	busyCycles uint64
+	dramCycles uint64
+}
+
+type bufEntry struct {
+	data  []byte
+	dirty bool
+	tick  uint64
+}
+
+func newBareCachePort(cfg shield.Config, inner axi.MemoryPort, params perf.Params) *bareCachePort {
+	p := &bareCachePort{inner: inner, params: params}
+	perChannel := make(map[int]int)
+	for _, rc := range cfg.Regions {
+		perChannel[rc.Channel]++
+	}
+	for _, rc := range cfg.Regions {
+		capacity := rc.BufferBytes / rc.ChunkSize
+		if capacity < 1 {
+			capacity = 1
+		}
+		p.regions = append(p.regions, &bareRegion{
+			cfg: rc, lines: make(map[int]*bufEntry), capacity: capacity,
+			share: perChannel[rc.Channel],
+		})
+	}
+	return p
+}
+
+func (p *bareCachePort) regionFor(addr uint64) (*bareRegion, error) {
+	for _, r := range p.regions {
+		if addr >= r.cfg.Base && addr < r.cfg.Base+r.cfg.Size {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("accel: bare access %#x outside configured regions", addr)
+}
+
+func (p *bareCachePort) load(r *bareRegion, chunk int, fill bool) (*bufEntry, error) {
+	if ln, ok := r.lines[chunk]; ok {
+		r.tick++
+		ln.tick = r.tick
+		return ln, nil
+	}
+	if len(r.lines) >= r.capacity {
+		victim, oldest := -1, uint64(1<<63)
+		for idx, ln := range r.lines {
+			if ln.tick < oldest {
+				victim, oldest = idx, ln.tick
+			}
+		}
+		if victim >= 0 {
+			if err := p.writeback(r, victim); err != nil {
+				return nil, err
+			}
+			delete(r.lines, victim)
+		}
+	}
+	ln := &bufEntry{data: make([]byte, r.cfg.ChunkSize)}
+	if fill {
+		addr := r.cfg.Base + uint64(chunk*r.cfg.ChunkSize)
+		if _, err := p.inner.ReadBurst(addr, ln.data); err != nil {
+			return nil, err
+		}
+		r.busyCycles += p.params.DRAMCyclesShared(r.cfg.ChunkSize, r.share)
+		r.dramCycles += p.params.DRAMCycles(r.cfg.ChunkSize)
+	}
+	r.tick++
+	ln.tick = r.tick
+	r.lines[chunk] = ln
+	return ln, nil
+}
+
+func (p *bareCachePort) writeback(r *bareRegion, chunk int) error {
+	ln := r.lines[chunk]
+	if ln == nil || !ln.dirty {
+		return nil
+	}
+	addr := r.cfg.Base + uint64(chunk*r.cfg.ChunkSize)
+	if _, err := p.inner.WriteBurst(addr, ln.data); err != nil {
+		return err
+	}
+	r.busyCycles += p.params.DRAMCyclesShared(r.cfg.ChunkSize, r.share)
+	r.dramCycles += p.params.DRAMCycles(r.cfg.ChunkSize)
+	ln.dirty = false
+	return nil
+}
+
+// ReadBurst implements axi.MemoryPort.
+func (p *bareCachePort) ReadBurst(addr uint64, buf []byte) (uint64, error) {
+	r, err := p.regionFor(addr)
+	if err != nil {
+		return 0, err
+	}
+	off := addr - r.cfg.Base
+	for done := 0; done < len(buf); {
+		chunk := int((off + uint64(done)) / uint64(r.cfg.ChunkSize))
+		inOff := int((off + uint64(done)) % uint64(r.cfg.ChunkSize))
+		ln, err := p.load(r, chunk, true)
+		if err != nil {
+			return 0, err
+		}
+		n := copy(buf[done:], ln.data[inOff:])
+		r.busyCycles += 1 + uint64(n)/64
+		done += n
+	}
+	return 0, nil
+}
+
+// WriteBurst implements axi.MemoryPort.
+func (p *bareCachePort) WriteBurst(addr uint64, data []byte) (uint64, error) {
+	r, err := p.regionFor(addr)
+	if err != nil {
+		return 0, err
+	}
+	off := addr - r.cfg.Base
+	for done := 0; done < len(data); {
+		chunk := int((off + uint64(done)) / uint64(r.cfg.ChunkSize))
+		inOff := int((off + uint64(done)) % uint64(r.cfg.ChunkSize))
+		n := r.cfg.ChunkSize - inOff
+		if n > len(data)-done {
+			n = len(data) - done
+		}
+		full := inOff == 0 && n == r.cfg.ChunkSize
+		ln, err := p.load(r, chunk, !full)
+		if err != nil {
+			return 0, err
+		}
+		copy(ln.data[inOff:], data[done:done+n])
+		ln.dirty = true
+		r.busyCycles += 1 + uint64(n)/64
+		done += n
+	}
+	return 0, nil
+}
+
+// MemCycles composes the baseline memory time the same way the Shield's
+// Report does: ports run in parallel, bounded by per-channel bus occupancy
+// (dram cost at full channel bandwidth, not the per-port share).
+func (p *bareCachePort) MemCycles() uint64 {
+	var maxBusy uint64
+	perChannel := make(map[int]uint64)
+	for _, r := range p.regions {
+		if r.busyCycles > maxBusy {
+			maxBusy = r.busyCycles
+		}
+		perChannel[r.cfg.Channel] += r.dramCycles
+	}
+	best := maxBusy
+	for _, dram := range perChannel {
+		if dram > best {
+			best = dram
+		}
+	}
+	return best
+}
+
+// Flush writes back all dirty lines.
+func (p *bareCachePort) Flush() error {
+	for _, r := range p.regions {
+		for idx := range r.lines {
+			if err := p.writeback(r, idx); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package accel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"shef/internal/shield"
+)
+
+// Conv is the Figure 6 convolution workload: one convolutional layer from
+// a Xilinx reference implementation with a 27×27×96 input, 5×5 filters,
+// and a 27×27×256 output over 32-bit values (§6.2.4). It achieves high
+// parallelism by streaming batches of feature maps and filters; the paper
+// configures 8 engine sets for inputs and weights and 4 for outputs, with
+// 512-byte chunks, observing 1.20x-1.35x overheads.
+type Conv struct {
+	// H, W, Cin, Cout, K are the layer dimensions (paper defaults).
+	H, W, Cin, Cout, K int
+	// Batch is the number of images streamed per invocation.
+	Batch int
+	// Lanes is the MAC-array width (MACs per cycle).
+	Lanes int
+}
+
+const (
+	convChunk   = 512
+	convInBase  = 0x0000_0000
+	convWBase   = 0x2000_0000
+	convOutBase = 0x4000_0000
+	convInSets  = 4 // input feature-map engine sets
+	convWSets   = 4 // weight engine sets (inputs+weights = 8, §6.2.4)
+	convOutSets = 4
+)
+
+// NewConv builds the workload. Params: "h", "w", "cin", "cout", "k",
+// "batch", "lanes". Defaults are the paper's layer at batch 2 with a
+// 4096-lane MAC array.
+func NewConv(params map[string]string) (Workload, error) {
+	// Defaults are a scaled-down layer for fast functional runs; the
+	// benchmark harness passes the paper's 27×27×96 → 27×27×256 dims.
+	c := &Conv{H: 27, W: 27, Cin: 16, Cout: 64, K: 5, Batch: 1, Lanes: 4096}
+	for key, dst := range map[string]*int{
+		"h": &c.H, "w": &c.W, "cin": &c.Cin, "cout": &c.Cout,
+		"k": &c.K, "batch": &c.Batch, "lanes": &c.Lanes,
+	} {
+		if s, ok := params[key]; ok {
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("accel: conv %s=%q invalid", key, s)
+			}
+			*dst = n
+		}
+	}
+	return c, nil
+}
+
+func init() { Register("conv", NewConv) }
+
+// Name implements Workload.
+func (c *Conv) Name() string { return "conv" }
+
+func (c *Conv) inBytes() int  { return c.Batch * c.H * c.W * c.Cin * 4 }
+func (c *Conv) wBytes() int   { return c.K * c.K * c.Cin * c.Cout * 4 }
+func (c *Conv) outBytes() int { return c.Batch * c.H * c.W * c.Cout * 4 }
+
+func alignUp(n, a int) int { return (n + a - 1) / a * a }
+
+// ShieldConfig splits inputs, weights, and outputs across their engine
+// sets; streaming access, no replay counters (read-once / write-once,
+// §6.2.4: "we can save on-chip memory by disabling integrity counters").
+func (c *Conv) ShieldConfig(variant Variant) shield.Config {
+	var regions []shield.RegionConfig
+	split := func(prefix string, base uint64, total, parts, buf int) {
+		part := alignUp(alignUp(total, parts)/parts, convChunk)
+		for i := 0; i < parts; i++ {
+			regions = append(regions, shield.RegionConfig{
+				Name:        fmt.Sprintf("%s%d", prefix, i),
+				Base:        base + uint64(i*part),
+				Size:        uint64(part),
+				ChunkSize:   convChunk,
+				AESEngines:  1,
+				SBox:        variant.SBox,
+				KeySize:     variant.KeySize,
+				MAC:         variant.MAC(),
+				BufferBytes: buf,
+			})
+		}
+	}
+	// 128KB read buffer across input+weight sets, 64KB across output sets
+	// (§6.2.4).
+	split("in", convInBase, c.inBytes(), convInSets, 128<<10/(convInSets+convWSets))
+	split("w", convWBase, c.wBytes(), convWSets, 128<<10/(convInSets+convWSets))
+	split("out", convOutBase, c.outBytes(), convOutSets, 64<<10/convOutSets)
+	return shield.Config{Regions: regions, Registers: 8}
+}
+
+// Inputs fills the feature-map and weight partitions.
+func (c *Conv) Inputs(rng *rand.Rand) map[string][]byte {
+	out := make(map[string][]byte)
+	fill := func(prefix string, total, parts int) {
+		part := alignUp(alignUp(total, parts)/parts, convChunk)
+		for i := 0; i < parts; i++ {
+			img := make([]byte, part)
+			rng.Read(img)
+			out[fmt.Sprintf("%s%d", prefix, i)] = img
+		}
+	}
+	fill("in", c.inBytes(), convInSets)
+	fill("w", c.wBytes(), convWSets)
+	return out
+}
+
+// partSize is the per-partition byte size after chunk alignment.
+func (c *Conv) partSize(total, parts int) int {
+	return alignUp(alignUp(total, parts)/parts, convChunk)
+}
+
+// Run streams the convolution: for each batch image and output channel
+// block, read input tiles and weights through the port, MAC, and stream
+// the output. Values use wraparound int32 arithmetic (hardware-exact).
+func (c *Conv) Run(ctx *Ctx) error {
+	pad := c.K / 2
+	// Load weights once per image block (streamed, buffered by the Shield).
+	wTotal := c.wBytes()
+	weights := make([]byte, wTotal)
+	wPart := c.partSize(wTotal, convWSets)
+	for p := 0; p < convWSets; p++ {
+		lo := p * wPart
+		n := wPart
+		if lo+n > wTotal {
+			n = wTotal - lo
+		}
+		if n <= 0 {
+			break
+		}
+		if _, err := ctx.Mem.ReadBurst(convWBase+uint64(p*wPart), weights[lo:lo+n]); err != nil {
+			return err
+		}
+	}
+	inTotal := c.inBytes()
+	inPart := c.partSize(inTotal, convInSets)
+	inRow := make([]byte, c.W*c.Cin*4)
+	outRow := make([]byte, c.W*c.Cout*4)
+	// Sliding window of input rows for the current image.
+	rows := make([][]byte, c.H)
+
+	for b := 0; b < c.Batch; b++ {
+		// Stream the image's rows in.
+		for y := 0; y < c.H; y++ {
+			off := ((b*c.H + y) * c.W * c.Cin) * 4
+			p := off / inPart
+			inOff := off % inPart
+			// A row may straddle partitions; split the read.
+			row := make([]byte, len(inRow))
+			done := 0
+			for done < len(row) {
+				n := inPart - inOff
+				if n > len(row)-done {
+					n = len(row) - done
+				}
+				if _, err := ctx.Mem.ReadBurst(convInBase+uint64(p*inPart+inOff), row[done:done+n]); err != nil {
+					return err
+				}
+				done += n
+				p++
+				inOff = 0
+			}
+			rows[y] = row
+		}
+		// Compute and stream each output row. The accumulator array makes
+		// the innermost loop run contiguously over the weight layout.
+		acc := make([]uint32, c.Cout)
+		for y := 0; y < c.H; y++ {
+			for x := 0; x < c.W; x++ {
+				for i := range acc {
+					acc[i] = 0
+				}
+				for kh := 0; kh < c.K; kh++ {
+					yy := y + kh - pad
+					if yy < 0 || yy >= c.H {
+						continue
+					}
+					row := rows[yy]
+					for kw := 0; kw < c.K; kw++ {
+						xx := x + kw - pad
+						if xx < 0 || xx >= c.W {
+							continue
+						}
+						for ci := 0; ci < c.Cin; ci++ {
+							a := binary.LittleEndian.Uint32(row[(xx*c.Cin+ci)*4:])
+							if a == 0 {
+								continue
+							}
+							wrow := weights[(((kh*c.K+kw)*c.Cin+ci)*c.Cout)*4:]
+							for co := 0; co < c.Cout; co++ {
+								acc[co] += a * binary.LittleEndian.Uint32(wrow[co*4:])
+							}
+						}
+					}
+				}
+				for co := 0; co < c.Cout; co++ {
+					binary.LittleEndian.PutUint32(outRow[(x*c.Cout+co)*4:], acc[co])
+				}
+			}
+			// MACs for this row: W * Cout * K² * Cin.
+			ctx.Compute(uint64(c.W*c.Cout*c.K*c.K*c.Cin) / uint64(c.Lanes))
+			if err := c.writeOutRow(ctx, b, y, outRow); err != nil {
+				return err
+			}
+		}
+	}
+	// Zero the chunk-alignment padding at the end of the output space so
+	// every output chunk carries valid ciphertext for the export path.
+	total := c.outBytes()
+	padded := c.partSize(total, convOutSets) * convOutSets
+	if padded > total {
+		pad := make([]byte, padded-total)
+		p := total / c.partSize(total, convOutSets)
+		inOff := total % c.partSize(total, convOutSets)
+		if _, err := ctx.Mem.WriteBurst(convOutBase+uint64(p*c.partSize(total, convOutSets)+inOff), pad); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Conv) writeOutRow(ctx *Ctx, b, y int, row []byte) error {
+	outTotal := c.outBytes()
+	outPart := c.partSize(outTotal, convOutSets)
+	off := ((b*c.H + y) * c.W * c.Cout) * 4
+	p := off / outPart
+	inOff := off % outPart
+	done := 0
+	for done < len(row) {
+		n := outPart - inOff
+		if n > len(row)-done {
+			n = len(row) - done
+		}
+		if _, err := ctx.Mem.WriteBurst(convOutBase+uint64(p*outPart+inOff), row[done:done+n]); err != nil {
+			return err
+		}
+		done += n
+		p++
+		inOff = 0
+	}
+	return nil
+}
+
+// OutputRegions implements Workload.
+func (c *Conv) OutputRegions() []string {
+	out := make([]string, convOutSets)
+	for i := range out {
+		out[i] = fmt.Sprintf("out%d", i)
+	}
+	return out
+}
+
+// Check recomputes a sample of output pixels on the host.
+func (c *Conv) Check(inputs, outputs map[string][]byte) error {
+	// Reassemble flat tensors from partitions.
+	join := func(prefix string, parts int) []byte {
+		var out []byte
+		for i := 0; i < parts; i++ {
+			out = append(out, inputs[fmt.Sprintf("%s%d", prefix, i)]...)
+		}
+		return out
+	}
+	in := join("in", convInSets)
+	w := join("w", convWSets)
+	var outFlat []byte
+	for i := 0; i < convOutSets; i++ {
+		outFlat = append(outFlat, outputs[fmt.Sprintf("out%d", i)]...)
+	}
+	inAt := func(b, y, x, ci int) uint32 {
+		if y < 0 || y >= c.H || x < 0 || x >= c.W {
+			return 0
+		}
+		idx := ((b*c.H+y)*c.W+x)*c.Cin + ci
+		return binary.LittleEndian.Uint32(in[idx*4:])
+	}
+	wAt := func(kh, kw, ci, co int) uint32 {
+		idx := ((kh*c.K+kw)*c.Cin+ci)*c.Cout + co
+		return binary.LittleEndian.Uint32(w[idx*4:])
+	}
+	pad := c.K / 2
+	// Deterministic sample of output positions.
+	for _, pos := range [][3]int{{0, 0, 0}, {c.H / 2, c.W / 2, c.Cout / 2}, {c.H - 1, c.W - 1, c.Cout - 1}} {
+		y, x, co := pos[0], pos[1], pos[2]
+		for b := 0; b < c.Batch; b++ {
+			var want uint32
+			for kh := 0; kh < c.K; kh++ {
+				for kw := 0; kw < c.K; kw++ {
+					for ci := 0; ci < c.Cin; ci++ {
+						want += inAt(b, y+kh-pad, x+kw-pad, ci) * wAt(kh, kw, ci, co)
+					}
+				}
+			}
+			idx := ((b*c.H+y)*c.W+x)*c.Cout + co
+			if got := binary.LittleEndian.Uint32(outFlat[idx*4:]); got != want {
+				return fmt.Errorf("out[%d,%d,%d,%d] = %d, want %d", b, y, x, co, got, want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package accel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"shef/internal/shield"
+)
+
+// VecAdd is the Figure 5 microbenchmark: stream two vectors in, add them
+// element-wise, stream the sum out. "The actual logic is minimal and the
+// workload is strictly bound by off-chip memory accesses" (§6.2.2). The
+// input and output vectors are partitioned across four engine sets each,
+// with one AES and one HMAC engine per set and 512-byte chunks.
+type VecAdd struct {
+	// Bytes is the per-vector size (the x-axis of Figure 5).
+	Bytes int
+	// Variantless bases for A, B, and OUT partitions.
+}
+
+const (
+	vecParts   = 4
+	vecChunk   = 512
+	vecABase   = 0x0000_0000
+	vecBBase   = 0x1000_0000
+	vecOutBase = 0x2000_0000
+)
+
+// NewVecAdd builds the workload; params may set "bytes".
+func NewVecAdd(params map[string]string) (Workload, error) {
+	v := &VecAdd{Bytes: 1 << 20}
+	if s, ok := params["bytes"]; ok {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("accel: vecadd bytes %q invalid", s)
+		}
+		v.Bytes = n
+	}
+	// Round up so every partition is chunk-aligned.
+	part := (v.Bytes/vecParts + vecChunk - 1) / vecChunk * vecChunk
+	v.Bytes = part * vecParts
+	return v, nil
+}
+
+func init() { Register("vecadd", NewVecAdd) }
+
+// Name implements Workload.
+func (v *VecAdd) Name() string { return "vecadd" }
+
+func (v *VecAdd) part() int { return v.Bytes / vecParts }
+
+// ShieldConfig partitions each vector across four engine sets (§6.2.2).
+func (v *VecAdd) ShieldConfig(variant Variant) shield.Config {
+	var regions []shield.RegionConfig
+	add := func(prefix string, base uint64) {
+		for i := 0; i < vecParts; i++ {
+			regions = append(regions, shield.RegionConfig{
+				Name:       fmt.Sprintf("%s%d", prefix, i),
+				Base:       base + uint64(i*v.part()),
+				Size:       uint64(v.part()),
+				ChunkSize:  vecChunk,
+				AESEngines: 1,
+				SBox:       variant.SBox,
+				KeySize:    variant.KeySize,
+				MAC:        variant.MAC(),
+				// Streaming: modest double-buffer, no replay counters.
+				BufferBytes: 2 * vecChunk,
+			})
+		}
+	}
+	add("a", vecABase)
+	add("b", vecBBase)
+	add("o", vecOutBase)
+	return shield.Config{Regions: regions, Registers: 8}
+}
+
+// Inputs generates the two source vectors, split per partition region.
+func (v *VecAdd) Inputs(rng *rand.Rand) map[string][]byte {
+	out := make(map[string][]byte, 2*vecParts)
+	for i := 0; i < vecParts; i++ {
+		a := make([]byte, v.part())
+		b := make([]byte, v.part())
+		rng.Read(a)
+		rng.Read(b)
+		out[fmt.Sprintf("a%d", i)] = a
+		out[fmt.Sprintf("b%d", i)] = b
+	}
+	return out
+}
+
+// Run streams the addition partition by partition, chunk by chunk.
+func (v *VecAdd) Run(ctx *Ctx) error {
+	bufA := make([]byte, vecChunk)
+	bufB := make([]byte, vecChunk)
+	bufO := make([]byte, vecChunk)
+	for p := 0; p < vecParts; p++ {
+		aBase := uint64(vecABase + p*v.part())
+		bBase := uint64(vecBBase + p*v.part())
+		oBase := uint64(vecOutBase + p*v.part())
+		for off := 0; off < v.part(); off += vecChunk {
+			if _, err := ctx.Mem.ReadBurst(aBase+uint64(off), bufA); err != nil {
+				return err
+			}
+			if _, err := ctx.Mem.ReadBurst(bBase+uint64(off), bufB); err != nil {
+				return err
+			}
+			for i := 0; i < vecChunk; i += 4 {
+				s := binary.LittleEndian.Uint32(bufA[i:]) + binary.LittleEndian.Uint32(bufB[i:])
+				binary.LittleEndian.PutUint32(bufO[i:], s)
+			}
+			// Wide vector ALU: one cycle per 64-byte beat.
+			ctx.Compute(uint64(vecChunk / 64))
+			if _, err := ctx.Mem.WriteBurst(oBase+uint64(off), bufO); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// OutputRegions implements Workload.
+func (v *VecAdd) OutputRegions() []string {
+	out := make([]string, vecParts)
+	for i := range out {
+		out[i] = fmt.Sprintf("o%d", i)
+	}
+	return out
+}
+
+// Check verifies o[i] = a[i] + b[i] element-wise.
+func (v *VecAdd) Check(inputs, outputs map[string][]byte) error {
+	for p := 0; p < vecParts; p++ {
+		a := inputs[fmt.Sprintf("a%d", p)]
+		b := inputs[fmt.Sprintf("b%d", p)]
+		o := outputs[fmt.Sprintf("o%d", p)]
+		if len(o) != len(a) {
+			return fmt.Errorf("partition %d: output size %d, want %d", p, len(o), len(a))
+		}
+		for i := 0; i < len(a); i += 4 {
+			want := binary.LittleEndian.Uint32(a[i:]) + binary.LittleEndian.Uint32(b[i:])
+			if got := binary.LittleEndian.Uint32(o[i:]); got != want {
+				return fmt.Errorf("partition %d offset %d: got %d, want %d", p, i, got, want)
+			}
+		}
+	}
+	return nil
+}

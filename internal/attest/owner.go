@@ -1,0 +1,174 @@
+package attest
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"shef/internal/bitstream"
+	"shef/internal/boot"
+	"shef/internal/crypto/modp"
+	"shef/internal/crypto/rsax"
+	"shef/internal/crypto/schnorr"
+)
+
+func bigFromBytes(b []byte) *big.Int { return new(big.Int).SetBytes(b) }
+
+// Request kinds on the Data Owner channel.
+const (
+	// KindProvision asks the vendor to attest the FPGA instance and hand
+	// back the public Shield Encryption Key (Figure 3 steps 1 and 7).
+	KindProvision = "provision"
+	// KindFetch downloads the (public) encrypted bitstream, as a
+	// marketplace would serve it.
+	KindFetch = "fetch"
+	// KindRegister records a device public key with the vendor's CA view.
+	// In production the Manufacturer does this through a certificate
+	// authority; the demo CLI exercises the same data flow directly.
+	KindRegister = "register"
+)
+
+// OwnerRequest is Data Owner → IP Vendor over the TLS channel of Figure 3
+// step 1.
+type OwnerRequest struct {
+	Kind    string `json:"kind"`
+	Product string `json:"product"`
+	// Registration payload (KindRegister).
+	DeviceSerial string `json:"device_serial,omitempty"`
+	DeviceKeyN   []byte `json:"device_key_n,omitempty"`
+	DeviceKeyE   int    `json:"device_key_e,omitempty"`
+}
+
+// OwnerResponse returns the request outcome.
+type OwnerResponse struct {
+	OK            bool                 `json:"ok"`
+	Error         string               `json:"error,omitempty"`
+	ShieldPub     []byte               `json:"shield_pub,omitempty"`
+	BitstreamHash []byte               `json:"bitstream_hash,omitempty"`
+	DeviceSerial  string               `json:"device_serial,omitempty"`
+	KernelHash    []byte               `json:"kernel_hash,omitempty"`
+	Bitstream     *bitstream.Encrypted `json:"bitstream,omitempty"`
+}
+
+// HandleOwner serves one Data Owner request on conn. The owner connection
+// is assumed to be TLS-protected (step 1); the model treats the stream as
+// confidential.
+//
+// For provision requests the host program on the client side proxies the
+// Security Kernel: the Figure 3 challenge/report/key-delivery messages run
+// over the same connection, interleaved between the request and the final
+// response — exactly the paper's topology, where all kernel traffic
+// crosses the untrusted host CPU.
+func (v *Vendor) HandleOwner(ownerConn io.ReadWriter) error {
+	var req OwnerRequest
+	if err := readMsg(ownerConn, &req); err != nil {
+		return err
+	}
+	switch req.Kind {
+	case KindRegister:
+		if req.DeviceSerial == "" || len(req.DeviceKeyN) == 0 {
+			return writeMsg(ownerConn, OwnerResponse{OK: false, Error: "malformed registration"})
+		}
+		v.CA.Register(req.DeviceSerial, &rsax.PublicKey{
+			N: bigFromBytes(req.DeviceKeyN), E: req.DeviceKeyE,
+		})
+		return writeMsg(ownerConn, OwnerResponse{OK: true, DeviceSerial: req.DeviceSerial})
+	case KindFetch:
+		p, ok := v.Bitstreams[req.Product]
+		if !ok {
+			return writeMsg(ownerConn, OwnerResponse{OK: false, Error: fmt.Sprintf("unknown product %q", req.Product)})
+		}
+		hash := p.Encrypted.Hash()
+		return writeMsg(ownerConn, OwnerResponse{OK: true, Bitstream: p.Encrypted, BitstreamHash: hash[:]})
+	case KindProvision, "": // empty kind keeps old clients working
+		p, ok := v.Bitstreams[req.Product]
+		if !ok {
+			return writeMsg(ownerConn, OwnerResponse{OK: false, Error: fmt.Sprintf("unknown product %q", req.Product)})
+		}
+		res, err := v.RunVendor(ownerConn, req.Product)
+		if err != nil {
+			return writeMsg(ownerConn, OwnerResponse{OK: false, Error: err.Error()})
+		}
+		hash := p.Encrypted.Hash()
+		return writeMsg(ownerConn, OwnerResponse{
+			OK:            true,
+			ShieldPub:     p.ShieldPub.Bytes(),
+			BitstreamHash: hash[:],
+			DeviceSerial:  res.Report.DeviceSerial,
+			KernelHash:    res.Report.KernelHash,
+		})
+	default:
+		return writeMsg(ownerConn, OwnerResponse{OK: false, Error: fmt.Sprintf("unknown request kind %q", req.Kind)})
+	}
+}
+
+// ProvisionViaHost runs the Data Owner + host-proxy side of a provision
+// request on one connection: it sends the request, lets the resident
+// Security Kernel answer the interleaved Figure 3 exchange, and returns
+// the vendor's verdict, the public Shield Encryption Key, and the
+// Bitstream Encryption Key the kernel received.
+func ProvisionViaHost(vendorConn io.ReadWriter, product string, group *modp.Group,
+	k *boot.SecurityKernel, enc *bitstream.Encrypted) (*OwnerResponse, *schnorr.PublicKey, []byte, error) {
+	if err := writeMsg(vendorConn, OwnerRequest{Kind: KindProvision, Product: product}); err != nil {
+		return nil, nil, nil, err
+	}
+	bitKey, kerr := ServeKernel(vendorConn, k, enc)
+	var resp OwnerResponse
+	if err := readMsg(vendorConn, &resp); err != nil {
+		if kerr != nil {
+			return nil, nil, nil, kerr
+		}
+		return nil, nil, nil, err
+	}
+	if !resp.OK {
+		return &resp, nil, nil, fmt.Errorf("attest: vendor refused provisioning: %s", resp.Error)
+	}
+	if kerr != nil {
+		return &resp, nil, nil, kerr
+	}
+	pub, err := schnorr.PublicKeyFromBytes(group, resp.ShieldPub)
+	if err != nil {
+		return &resp, nil, nil, fmt.Errorf("attest: bad shield key from vendor: %w", err)
+	}
+	return &resp, pub, bitKey, nil
+}
+
+// FetchBitstream downloads the encrypted bitstream for a product.
+func FetchBitstream(vendorConn io.ReadWriter, product string) (*bitstream.Encrypted, error) {
+	if err := writeMsg(vendorConn, OwnerRequest{Kind: KindFetch, Product: product}); err != nil {
+		return nil, err
+	}
+	var resp OwnerResponse
+	if err := readMsg(vendorConn, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("attest: fetch refused: %s", resp.Error)
+	}
+	if resp.Bitstream == nil {
+		return nil, fmt.Errorf("attest: fetch returned no bitstream")
+	}
+	return resp.Bitstream, nil
+}
+
+// RegisterDevice records a device public key with the vendor's CA view
+// (demo convenience standing in for the Manufacturer's CA publication).
+func RegisterDevice(vendorConn io.ReadWriter, serial string, pub *rsax.PublicKey) error {
+	err := writeMsg(vendorConn, OwnerRequest{
+		Kind:         KindRegister,
+		DeviceSerial: serial,
+		DeviceKeyN:   pub.N.Bytes(),
+		DeviceKeyE:   pub.E,
+	})
+	if err != nil {
+		return err
+	}
+	var resp OwnerResponse
+	if err := readMsg(vendorConn, &resp); err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("attest: registration refused: %s", resp.Error)
+	}
+	return nil
+}

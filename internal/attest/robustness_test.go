@@ -1,0 +1,169 @@
+package attest
+
+import (
+	"bytes"
+	"math/big"
+	"net"
+	"testing"
+	"time"
+)
+
+// These tests exercise the protocol endpoints against malformed and
+// adversarial wire input: nothing may panic, and every malformation must
+// be rejected.
+
+func TestWireRejectsOversizedHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GB claimed length
+	var v challenge
+	if err := readMsg(&buf, &v); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+}
+
+func TestWireRejectsTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 100})
+	buf.WriteString("short")
+	var v challenge
+	if err := readMsg(&buf, &v); err == nil {
+		t.Fatal("truncated message accepted")
+	}
+}
+
+func TestWireRejectsGarbageJSON(t *testing.T) {
+	var buf bytes.Buffer
+	writeMsg(&buf, "just a string")
+	var v challenge
+	if err := readMsg(&buf, &v); err == nil {
+		t.Fatal("type-mismatched message accepted")
+	}
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 3})
+	buf.WriteString("{{{")
+	if err := readMsg(&buf, &v); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+// TestKernelRejectsBadChallenge: short nonces and invalid DH elements are
+// refused before any signing happens.
+func TestKernelRejectsBadChallenge(t *testing.T) {
+	w := getWorld(t)
+	cases := []challenge{
+		{Nonce: []byte("short"), VerifPub: big.NewInt(4).Bytes()},
+		{Nonce: bytes.Repeat([]byte{1}, 32), VerifPub: []byte{1}}, // identity element
+		{Nonce: bytes.Repeat([]byte{1}, 32), VerifPub: nil},
+	}
+	for i, ch := range cases {
+		vc, kc := net.Pipe()
+		errc := make(chan error, 1)
+		go func() {
+			_, err := ServeKernel(kc, w.kernel, w.enc)
+			errc <- err
+			kc.Close()
+		}()
+		if err := writeMsg(vc, ch); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-errc:
+			if err == nil {
+				t.Errorf("case %d: kernel accepted a bad challenge", i)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("case %d: kernel hung", i)
+		}
+		vc.Close()
+	}
+}
+
+// TestVendorSurvivesKernelDisconnect: a kernel that hangs up mid-protocol
+// yields an error, not a hang or panic.
+func TestVendorSurvivesKernelDisconnect(t *testing.T) {
+	w := getWorld(t)
+	vc, kc := net.Pipe()
+	go func() {
+		var ch challenge
+		readMsg(kc, &ch)
+		kc.Close() // hang up before sending the report
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.vendor.RunVendor(vc, "vecadd")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("vendor succeeded against a disconnected kernel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("vendor hung on disconnect")
+	}
+	vc.Close()
+}
+
+// TestVendorRejectsGarbageReport: a random blob in place of the report
+// message fails cleanly.
+func TestVendorRejectsGarbageReport(t *testing.T) {
+	w := getWorld(t)
+	vc, kc := net.Pipe()
+	go func() {
+		var ch challenge
+		readMsg(kc, &ch)
+		writeMsg(kc, reportMsg{Report: Report{
+			Nonce:      ch.Nonce,
+			AttestPub:  []byte{0},
+			KernelHash: make([]byte, 32),
+		}})
+		var verdict vendorError
+		readMsg(kc, &verdict)
+		kc.Close()
+	}()
+	if _, err := w.vendor.RunVendor(vc, "vecadd"); err == nil {
+		t.Fatal("garbage report accepted")
+	}
+	vc.Close()
+}
+
+// TestSessionSealTamper: the session-channel AEAD rejects flipped bits.
+func TestSessionSealTamper(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 32)
+	d, err := sealSession(key, []byte("bitstream key material"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openSession(key, d); err != nil {
+		t.Fatalf("clean payload rejected: %v", err)
+	}
+	d.Ciphertext[0] ^= 1
+	if _, err := openSession(key, d); err == nil {
+		t.Fatal("tampered session payload accepted")
+	}
+	d.Ciphertext[0] ^= 1
+	d.Tag[0] ^= 1
+	if _, err := openSession(key, d); err == nil {
+		t.Fatal("tampered session tag accepted")
+	}
+	other := bytes.Repeat([]byte{8}, 32)
+	d.Tag[0] ^= 1
+	if _, err := openSession(other, d); err == nil {
+		t.Fatal("session payload opened under wrong key")
+	}
+}
+
+// TestCAISolation: looking up before registering fails; re-registration
+// overwrites (manufacturer key rotation).
+func TestCARegistry(t *testing.T) {
+	ca := NewCA()
+	if _, err := ca.Lookup("x"); err == nil {
+		t.Fatal("unknown device resolved")
+	}
+	pub1, _ := rsaxGenerate(t)
+	ca.Register("x", pub1)
+	got, err := ca.Lookup("x")
+	if err != nil || got.N.Cmp(pub1.N) != 0 {
+		t.Fatal("lookup mismatch")
+	}
+}

@@ -1,0 +1,93 @@
+// Package axi defines the transaction-level model of the AXI4 and
+// AXI4-Lite interfaces the Shell exposes to accelerators (paper §5.1).
+//
+// The Shield is "a wrapper module that transparently secures these
+// interfaces": it presents the same MemoryPort/RegisterPort shapes to the
+// accelerator that the Shell presents to it, so accelerators are oblivious
+// to whether they run shielded or bare.
+package axi
+
+import "fmt"
+
+// MemoryPort is the AXI4 full interface at transaction level: burst reads
+// and writes against device memory. Implementations return the simulated
+// cycle cost of the transaction.
+type MemoryPort interface {
+	// ReadBurst fills buf from addr.
+	ReadBurst(addr uint64, buf []byte) (cycles uint64, err error)
+	// WriteBurst stores data at addr.
+	WriteBurst(addr uint64, data []byte) (cycles uint64, err error)
+}
+
+// RegisterPort is the AXI4-Lite interface: single-beat access to
+// memory-mapped registers. Registers are 64-bit.
+type RegisterPort interface {
+	ReadReg(index int) (value uint64, cycles uint64, err error)
+	WriteReg(index int, value uint64) (cycles uint64, err error)
+}
+
+// MaxBurstBytes is the largest legal AXI4 burst (256 beats of 64 bytes).
+const MaxBurstBytes = 256 * 64
+
+// SplitBurst decomposes an arbitrarily long transfer into legal AXI bursts
+// that do not cross chunk boundaries of the given alignment. align == 0
+// means only the AXI maximum applies.
+func SplitBurst(addr uint64, n int, align int) []Burst {
+	var out []Burst
+	for n > 0 {
+		take := n
+		if take > MaxBurstBytes {
+			take = MaxBurstBytes
+		}
+		if align > 0 {
+			boundary := int(uint64(align) - addr%uint64(align))
+			if take > boundary {
+				take = boundary
+			}
+		}
+		out = append(out, Burst{Addr: addr, Len: take})
+		addr += uint64(take)
+		n -= take
+	}
+	return out
+}
+
+// Burst is one AXI4 transaction.
+type Burst struct {
+	Addr uint64
+	Len  int
+}
+
+func (b Burst) String() string { return fmt.Sprintf("[%#x +%d]", b.Addr, b.Len) }
+
+// CheckedPort wraps a MemoryPort with address-range enforcement; the Shell
+// uses it to fence accelerators into their allocated region, and tests use
+// it to assert the Shield never touches memory outside its partitions.
+type CheckedPort struct {
+	Inner MemoryPort
+	Base  uint64
+	Limit uint64 // exclusive
+}
+
+// ReadBurst implements MemoryPort.
+func (c *CheckedPort) ReadBurst(addr uint64, buf []byte) (uint64, error) {
+	if err := c.check(addr, len(buf)); err != nil {
+		return 0, err
+	}
+	return c.Inner.ReadBurst(addr, buf)
+}
+
+// WriteBurst implements MemoryPort.
+func (c *CheckedPort) WriteBurst(addr uint64, data []byte) (uint64, error) {
+	if err := c.check(addr, len(data)); err != nil {
+		return 0, err
+	}
+	return c.Inner.WriteBurst(addr, data)
+}
+
+func (c *CheckedPort) check(addr uint64, n int) error {
+	if addr < c.Base || addr+uint64(n) > c.Limit {
+		return fmt.Errorf("axi: access [%#x,+%d) outside window [%#x,%#x)", addr, n, c.Base, c.Limit)
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package aesx
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// FIPS-197 Appendix C known-answer tests.
+func TestFIPS197Vectors(t *testing.T) {
+	cases := []struct{ key, pt, ct string }{
+		{
+			"000102030405060708090a0b0c0d0e0f",
+			"00112233445566778899aabbccddeeff",
+			"69c4e0d86a7b0430d8cdb78070b4c55a",
+		},
+		{
+			"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+			"00112233445566778899aabbccddeeff",
+			"8ea2b7ca516745bfeafc49904b496089",
+		},
+	}
+	for _, c := range cases {
+		ci, err := NewCipher(mustHex(t, c.key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 16)
+		ci.EncryptBlock(got, mustHex(t, c.pt))
+		if hex.EncodeToString(got) != c.ct {
+			t.Errorf("key %s: got %x want %s", c.key, got, c.ct)
+		}
+	}
+}
+
+func TestInvalidKeyLength(t *testing.T) {
+	for _, n := range []int{0, 8, 15, 17, 24, 33} {
+		if _, err := NewCipher(make([]byte, n)); err == nil {
+			t.Errorf("NewCipher accepted %d-byte key", n)
+		}
+	}
+}
+
+// TestBlockAgainstStdlib cross-checks the block transform against crypto/aes
+// over random keys and blocks.
+func TestBlockAgainstStdlib(t *testing.T) {
+	f := func(key128 [16]byte, key256 [32]byte, block [16]byte) bool {
+		for _, key := range [][]byte{key128[:], key256[:]} {
+			ours, err := NewCipher(key)
+			if err != nil {
+				return false
+			}
+			ref, err := aes.NewCipher(key)
+			if err != nil {
+				return false
+			}
+			got := make([]byte, 16)
+			want := make([]byte, 16)
+			ours.EncryptBlock(got, block[:])
+			ref.Encrypt(want, block[:])
+			if !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCTRRoundTrip(t *testing.T) {
+	f := func(key [16]byte, iv [IVSize]byte, msg []byte) bool {
+		c, _ := NewCipher(key[:])
+		ct := make([]byte, len(msg))
+		CTR(c, iv, ct, msg)
+		pt := make([]byte, len(ct))
+		CTR(c, iv, pt, ct)
+		return bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCTRAgainstStdlib checks the CTR keystream layout (IV || counter)
+// matches crypto/cipher's CTR with the same initial counter block.
+func TestCTRAgainstStdlib(t *testing.T) {
+	f := func(key [32]byte, iv [IVSize]byte, msg []byte) bool {
+		c, _ := NewCipher(key[:])
+		got := make([]byte, len(msg))
+		CTR(c, iv, got, msg)
+
+		ref, _ := aes.NewCipher(key[:])
+		var ctrBlock [16]byte
+		copy(ctrBlock[:], iv[:])
+		want := make([]byte, len(msg))
+		cipher.NewCTR(ref, ctrBlock[:]).XORKeyStream(want, msg)
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCTRInPlace(t *testing.T) {
+	c, _ := NewCipher(make([]byte, 16))
+	msg := []byte("in-place CTR must work because the Shield reuses buffers")
+	orig := append([]byte(nil), msg...)
+	var iv [IVSize]byte
+	CTR(c, iv, msg, msg)
+	if bytes.Equal(msg, orig) {
+		t.Fatal("CTR did not change data")
+	}
+	CTR(c, iv, msg, msg)
+	if !bytes.Equal(msg, orig) {
+		t.Fatal("in-place round trip failed")
+	}
+}
+
+func TestChunkIVDistinct(t *testing.T) {
+	seen := map[[IVSize]byte]bool{}
+	for region := uint32(0); region < 4; region++ {
+		for chunk := uint32(0); chunk < 8; chunk++ {
+			for ver := uint32(0); ver < 4; ver++ {
+				iv := ChunkIV(region, chunk, ver)
+				if seen[iv] {
+					t.Fatalf("duplicate IV for region=%d chunk=%d ver=%d", region, chunk, ver)
+				}
+				seen[iv] = true
+			}
+		}
+	}
+}
+
+func TestEngineCycleModel(t *testing.T) {
+	key := make([]byte, 16)
+	e4, err := NewEngine(key, SBox4x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e16, _ := NewEngine(key, SBox16x)
+	// AES-128: 10 rounds. 4x: (16/4)*10 = 40 cycles; 16x: 1*10 = 10.
+	if got := e4.CyclesPerBlock(); got != 40 {
+		t.Errorf("AES-128/4x cycles per block = %d, want 40", got)
+	}
+	if got := e16.CyclesPerBlock(); got != 10 {
+		t.Errorf("AES-128/16x cycles per block = %d, want 10", got)
+	}
+	key256 := make([]byte, 32)
+	e256, _ := NewEngine(key256, SBox16x)
+	if got := e256.CyclesPerBlock(); got != 14 {
+		t.Errorf("AES-256/16x cycles per block = %d, want 14", got)
+	}
+	// More parallelism must never be slower.
+	if e16.BytesPerCycle() <= e4.BytesPerCycle() {
+		t.Error("16x engine not faster than 4x engine")
+	}
+	if got := e4.Cycles(17); got != 2*40 {
+		t.Errorf("Cycles(17) = %d, want 80 (2 blocks)", got)
+	}
+}
+
+func TestNewEngineRejectsBadParallelism(t *testing.T) {
+	if _, err := NewEngine(make([]byte, 16), SBoxParallelism(3)); err == nil {
+		t.Fatal("accepted 3x S-box parallelism")
+	}
+	if _, err := NewEngine(make([]byte, 11), SBox4x); err == nil {
+		t.Fatal("accepted bad key through NewEngine")
+	}
+}
+
+func BenchmarkEncryptBlock128(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	var blk [16]byte
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.EncryptBlock(blk[:], blk[:])
+	}
+}
+
+func BenchmarkCTR4K(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	buf := make([]byte, 4096)
+	var iv [IVSize]byte
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		CTR(c, iv, buf, buf)
+	}
+}
+
+// TestTTableMatchesReference cross-checks the T-table fast path against the
+// schoolbook round functions.
+func TestTTableMatchesReference(t *testing.T) {
+	f := func(key [32]byte, block [16]byte) bool {
+		c, _ := NewCipher(key[:])
+		fast := make([]byte, 16)
+		ref := make([]byte, 16)
+		c.EncryptBlock(fast, block[:])
+		c.encryptBlockReference(ref, block[:])
+		return bytes.Equal(fast, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package aesx
+
+import "encoding/binary"
+
+// IVSize is the Shield's initialisation-vector length: each authenticated
+// encryption chunk carries a 12-byte IV, and the low 4 bytes of the counter
+// block index the 16-byte blocks within the chunk (paper §5.2.2).
+const IVSize = 12
+
+// CTR encrypts or decrypts src into dst using AES-CTR with the given
+// 12-byte IV. The counter block is IV || big-endian 32-bit block counter
+// starting at 0. dst and src may alias. The operation is its own inverse.
+func CTR(c *Cipher, iv [IVSize]byte, dst, src []byte) {
+	if len(dst) < len(src) {
+		panic("aesx: CTR destination shorter than source")
+	}
+	var ctrBlock, ks [BlockSize]byte
+	copy(ctrBlock[:], iv[:])
+	for off, ctr := 0, uint32(0); off < len(src); off, ctr = off+BlockSize, ctr+1 {
+		binary.BigEndian.PutUint32(ctrBlock[IVSize:], ctr)
+		c.EncryptBlock(ks[:], ctrBlock[:])
+		n := len(src) - off
+		if n > BlockSize {
+			n = BlockSize
+		}
+		for i := 0; i < n; i++ {
+			dst[off+i] = src[off+i] ^ ks[i]
+		}
+	}
+}
+
+// ChunkIV derives the per-chunk IV for a Shield memory region. Successive
+// chunks increment the IV by one (paper §5.2.2: "incremented by 1 for each
+// successive chunk"), and the write version is folded in so that no two
+// ciphertexts of the same chunk ever reuse an IV even across rewrites.
+//
+// Layout: 4-byte region ID || 4-byte chunk index || 4-byte version.
+func ChunkIV(regionID uint32, chunkIndex uint32, version uint32) [IVSize]byte {
+	var iv [IVSize]byte
+	binary.BigEndian.PutUint32(iv[0:], regionID)
+	binary.BigEndian.PutUint32(iv[4:], chunkIndex)
+	binary.BigEndian.PutUint32(iv[8:], version)
+	return iv
+}

@@ -1,0 +1,82 @@
+package aesx
+
+import "fmt"
+
+// SBoxParallelism is the number of duplicated S-box lookup tables inside a
+// Shield AES engine. The paper's engine duplicates the 256-byte table up to
+// 16 times, reducing latency through parallel lookups at the cost of LUTs
+// (§5.2.2); the evaluation uses the 4x and 16x points.
+type SBoxParallelism int
+
+// The S-box duplication factors evaluated in the paper.
+const (
+	SBox1x  SBoxParallelism = 1
+	SBox2x  SBoxParallelism = 2
+	SBox4x  SBoxParallelism = 4
+	SBox8x  SBoxParallelism = 8
+	SBox16x SBoxParallelism = 16
+)
+
+// Valid reports whether p is a supported duplication factor.
+func (p SBoxParallelism) Valid() bool {
+	switch p {
+	case SBox1x, SBox2x, SBox4x, SBox8x, SBox16x:
+		return true
+	}
+	return false
+}
+
+func (p SBoxParallelism) String() string { return fmt.Sprintf("%dx", int(p)) }
+
+// Engine models one Shield AES engine instance: a functional AES cipher
+// plus the cycle cost implied by its S-box parallelism. One engine
+// processes one 16-byte block at a time; engine sets instantiate several
+// engines to scale throughput (paper §6.2).
+type Engine struct {
+	cipher *Cipher
+	sbox   SBoxParallelism
+}
+
+// NewEngine builds an engine for key with the given S-box parallelism.
+func NewEngine(key []byte, sbox SBoxParallelism) (*Engine, error) {
+	if !sbox.Valid() {
+		return nil, fmt.Errorf("aesx: unsupported S-box parallelism %d", sbox)
+	}
+	c, err := NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cipher: c, sbox: sbox}, nil
+}
+
+// Cipher exposes the engine's expanded key for functional use.
+func (e *Engine) Cipher() *Cipher { return e.cipher }
+
+// SBox reports the engine's S-box duplication factor.
+func (e *Engine) SBox() SBoxParallelism { return e.sbox }
+
+// KeySize reports the engine's key size.
+func (e *Engine) KeySize() KeySize { return e.cipher.size }
+
+// CyclesPerBlock is the simulated cost of one 16-byte block through the
+// engine: each round performs 16 S-box substitutions, of which `sbox` can
+// proceed in parallel; the linear layers overlap the lookups. AES-128/16x
+// therefore costs 10 cycles per block (1.6 B/cycle), AES-128/4x 40 cycles
+// (0.4 B/cycle). These rates are calibrated jointly with perf.Params so
+// the paper's Table 2 and Figures 5-6 shapes reproduce (DESIGN.md §4).
+func (e *Engine) CyclesPerBlock() uint64 {
+	perRound := uint64(16 / int(e.sbox))
+	return uint64(e.cipher.rounds) * perRound
+}
+
+// Cycles returns the engine-cycle cost of processing n bytes of CTR
+// keystream (one block per 16 bytes, rounded up).
+func (e *Engine) Cycles(n int) uint64 {
+	blocks := uint64((n + BlockSize - 1) / BlockSize)
+	return blocks * e.CyclesPerBlock()
+}
+
+// BytesPerCycle is the engine's steady-state throughput.
+func (e *Engine) BytesPerCycle() float64 {
+	return float64(BlockSize) / float64(e.CyclesPerBlock())
+}

@@ -1,0 +1,67 @@
+// Package hmacx implements HMAC-SHA256 (RFC 2104) from scratch, plus the
+// cycle model of the Shield's HMAC engine.
+//
+// The Shield's default authentication engine is a SHA-256 HMAC core (paper
+// Table 1). HMAC chains block-to-block, so a single stream cannot be
+// parallelised — this is exactly the bottleneck the paper's SDP case study
+// hits before switching to PMAC (§6.2.3).
+package hmacx
+
+import (
+	"crypto/subtle"
+
+	"shef/internal/crypto/sha256x"
+)
+
+// TagSize is the truncated MAC tag the Shield stores per chunk: 16 bytes
+// (paper §5.2.2: "each chunk is authenticated via a 16-byte MAC tag").
+const TagSize = 16
+
+// Sum computes the full 32-byte HMAC-SHA256 of msg under key.
+func Sum(key, msg []byte) [sha256x.Size]byte {
+	var kblock [sha256x.BlockSize]byte
+	if len(key) > sha256x.BlockSize {
+		kh := sha256x.Digest(key)
+		copy(kblock[:], kh[:])
+	} else {
+		copy(kblock[:], key)
+	}
+	var ipad, opad [sha256x.BlockSize]byte
+	for i := range kblock {
+		ipad[i] = kblock[i] ^ 0x36
+		opad[i] = kblock[i] ^ 0x5c
+	}
+	inner := sha256x.New()
+	inner.Write(ipad[:])
+	inner.Write(msg)
+	innerSum := inner.Sum()
+	outer := sha256x.New()
+	outer.Write(opad[:])
+	outer.Write(innerSum[:])
+	return outer.Sum()
+}
+
+// Tag computes the Shield's 16-byte truncated tag over msg.
+func Tag(key, msg []byte) [TagSize]byte {
+	full := Sum(key, msg)
+	var t [TagSize]byte
+	copy(t[:], full[:TagSize])
+	return t
+}
+
+// Verify reports whether tag is the correct truncated tag for msg under
+// key, in constant time.
+func Verify(key, msg []byte, tag [TagSize]byte) bool {
+	want := Tag(key, msg)
+	return subtle.ConstantTimeCompare(want[:], tag[:]) == 1
+}
+
+// Cycles is the simulated cost of MACing n message bytes on one HMAC
+// engine: the inner hash absorbs the key pad plus the message, the outer
+// hash absorbs two more blocks. The computation is serial; instantiating
+// more HMAC engines only helps across independent chunks, never within one.
+func Cycles(n int) uint64 {
+	innerBlocks := 1 + (n+9+sha256x.BlockSize-1)/sha256x.BlockSize // ipad block + message
+	outerBlocks := 2                                               // opad block + inner digest
+	return uint64(innerBlocks+outerBlocks) * sha256x.CyclesPerBlock
+}

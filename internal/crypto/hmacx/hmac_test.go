@@ -1,0 +1,92 @@
+package hmacx
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 4231 test case 2.
+func TestRFC4231(t *testing.T) {
+	key := []byte("Jefe")
+	msg := []byte("what do ya want for nothing?")
+	want := "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+	got := Sum(key, msg)
+	if hex.EncodeToString(got[:]) != want {
+		t.Fatalf("HMAC = %x, want %s", got, want)
+	}
+}
+
+func TestAgainstStdlib(t *testing.T) {
+	f := func(key, msg []byte) bool {
+		ref := hmac.New(sha256.New, key)
+		ref.Write(msg)
+		want := ref.Sum(nil)
+		got := Sum(key, msg)
+		return hmac.Equal(got[:], want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongKeyHashing(t *testing.T) {
+	key := make([]byte, 200) // longer than one block: must be pre-hashed
+	msg := []byte("m")
+	ref := hmac.New(sha256.New, key)
+	ref.Write(msg)
+	got := Sum(key, msg)
+	if !hmac.Equal(got[:], ref.Sum(nil)) {
+		t.Fatal("long-key HMAC mismatch")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	key := []byte("k")
+	msg := []byte("chunk of shielded memory")
+	tag := Tag(key, msg)
+	if !Verify(key, msg, tag) {
+		t.Fatal("valid tag rejected")
+	}
+	tag[0] ^= 1
+	if Verify(key, msg, tag) {
+		t.Fatal("corrupted tag accepted")
+	}
+	if Verify(key, append(msg, 'x'), Tag(key, msg)) {
+		t.Fatal("tag accepted for different message")
+	}
+}
+
+// Property: any single-bit flip in the message must change the tag.
+func TestTagBitFlipSensitivity(t *testing.T) {
+	f := func(msg []byte, pos uint16) bool {
+		if len(msg) == 0 {
+			return true
+		}
+		key := []byte("bitflip")
+		orig := Tag(key, msg)
+		i := int(pos) % len(msg)
+		msg[i] ^= 0x01
+		return Tag(key, msg) != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCyclesMonotone(t *testing.T) {
+	prev := uint64(0)
+	for n := 0; n <= 8192; n += 64 {
+		c := Cycles(n)
+		if c < prev {
+			t.Fatalf("Cycles not monotone at n=%d", n)
+		}
+		prev = c
+	}
+	// 4KB chunk: 1 ipad + 65 msg blocks + 2 outer = 68 blocks.
+	if got, want := Cycles(4096), uint64(68*68); got != want {
+		t.Errorf("Cycles(4096) = %d, want %d", got, want)
+	}
+}

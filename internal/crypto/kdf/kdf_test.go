@@ -1,0 +1,62 @@
+package kdf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := Derive([]byte("salt"), []byte("ikm"), []byte("info"), 48)
+	b := Derive([]byte("salt"), []byte("ikm"), []byte("info"), 48)
+	if !bytes.Equal(a, b) {
+		t.Fatal("KDF not deterministic")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	base := Derive([]byte("salt"), []byte("ikm"), []byte("info"), 32)
+	cases := [][]byte{
+		Derive([]byte("salt2"), []byte("ikm"), []byte("info"), 32),
+		Derive([]byte("salt"), []byte("ikm2"), []byte("info"), 32),
+		Derive([]byte("salt"), []byte("ikm"), []byte("info2"), 32),
+	}
+	for i, c := range cases {
+		if bytes.Equal(base, c) {
+			t.Errorf("case %d: outputs collide despite different inputs", i)
+		}
+	}
+}
+
+func TestLengths(t *testing.T) {
+	for _, n := range []int{1, 16, 31, 32, 33, 64, 100, 255} {
+		out := Derive([]byte("s"), []byte("k"), []byte("i"), n)
+		if len(out) != n {
+			t.Errorf("Derive(..., %d) returned %d bytes", n, len(out))
+		}
+	}
+}
+
+// Property: a longer output extends a shorter one (prefix consistency, a
+// standard HKDF property applications rely on).
+func TestPrefixConsistency(t *testing.T) {
+	f := func(ikm, info []byte) bool {
+		long := Derive([]byte("s"), ikm, info, 64)
+		short := Derive([]byte("s"), ikm, info, 20)
+		return bytes.Equal(long[:20], short)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionKey(t *testing.T) {
+	k1 := SessionKey([]byte("shared"), []byte("nonce1"))
+	k2 := SessionKey([]byte("shared"), []byte("nonce2"))
+	if len(k1) != 32 {
+		t.Fatalf("session key length %d", len(k1))
+	}
+	if bytes.Equal(k1, k2) {
+		t.Fatal("different nonces produced same session key")
+	}
+}

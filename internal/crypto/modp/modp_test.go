@@ -1,0 +1,94 @@
+package modp
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestGroup14Parameters(t *testing.T) {
+	if Group14.P.BitLen() != 2048 {
+		t.Errorf("Group14 P is %d bits, want 2048", Group14.P.BitLen())
+	}
+	// Q = (P-1)/2 exactly.
+	q2 := new(big.Int).Lsh(Group14.Q, 1)
+	q2.Add(q2, big.NewInt(1))
+	if q2.Cmp(Group14.P) != 0 {
+		t.Error("Q != (P-1)/2")
+	}
+	if Group14.G.Cmp(big.NewInt(4)) != 0 {
+		t.Error("generator is not 4 (the order-Q quadratic residue 2^2)")
+	}
+}
+
+func TestGroup14Primality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("primality check on 2048-bit prime in -short mode")
+	}
+	if !Group14.P.ProbablyPrime(16) {
+		t.Error("Group14 P not prime")
+	}
+	if !Group14.Q.ProbablyPrime(16) {
+		t.Error("Group14 Q not prime (P not a safe prime)")
+	}
+}
+
+func TestTestGroupIsSafePrime(t *testing.T) {
+	if !TestGroup.P.ProbablyPrime(20) || !TestGroup.Q.ProbablyPrime(20) {
+		t.Fatal("TestGroup is not a safe-prime group")
+	}
+	if TestGroup.P.BitLen() < 500 {
+		t.Fatalf("TestGroup only %d bits", TestGroup.P.BitLen())
+	}
+}
+
+func TestRandScalarRange(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		x, err := TestGroup.RandScalar(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Sign() <= 0 || x.Cmp(TestGroup.Q) >= 0 {
+			t.Fatalf("scalar %v out of (0, Q)", x)
+		}
+	}
+}
+
+func TestScalarFromBytesDeterministicAndNonzero(t *testing.T) {
+	a := TestGroup.ScalarFromBytes([]byte("seed"))
+	b := TestGroup.ScalarFromBytes([]byte("seed"))
+	if a.Cmp(b) != 0 {
+		t.Fatal("not deterministic")
+	}
+	zero := TestGroup.ScalarFromBytes(nil)
+	if zero.Sign() <= 0 {
+		t.Fatal("scalar from empty seed is not positive")
+	}
+}
+
+func TestExpAgreement(t *testing.T) {
+	x, _ := TestGroup.RandScalar(nil)
+	y, _ := TestGroup.RandScalar(nil)
+	gx := TestGroup.Exp(x)
+	gy := TestGroup.Exp(y)
+	gxy := TestGroup.ExpBase(gx, y)
+	gyx := TestGroup.ExpBase(gy, x)
+	if gxy.Cmp(gyx) != 0 {
+		t.Fatal("DH agreement failed")
+	}
+}
+
+func TestValidElement(t *testing.T) {
+	if TestGroup.ValidElement(nil) {
+		t.Error("nil accepted")
+	}
+	if TestGroup.ValidElement(big.NewInt(0)) || TestGroup.ValidElement(big.NewInt(1)) {
+		t.Error("trivial element accepted")
+	}
+	pm1 := new(big.Int).Sub(TestGroup.P, big.NewInt(1))
+	if TestGroup.ValidElement(pm1) {
+		t.Error("P-1 accepted")
+	}
+	if !TestGroup.ValidElement(big.NewInt(4)) {
+		t.Error("4 rejected")
+	}
+}

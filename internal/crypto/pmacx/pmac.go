@@ -1,0 +1,135 @@
+// Package pmacx implements PMAC (a parallelisable message authentication
+// code, Black–Rogaway) over AES, plus its cycle model.
+//
+// The paper replaces the serial HMAC engine with PMAC engines when a
+// workload is authentication-bound (§6.2.3, §6.2.4): because PMAC's block
+// computations are independent, MAC throughput scales with the number of
+// engines, unlike HMAC. The implementation below follows the PMAC1
+// construction: Sigma = XOR_i AES(M_i xor Delta_i), tag = AES(Sigma xor
+// pad(M_last) xor Delta*), where the offsets Delta derive from L = AES(0)
+// by Galois-field doubling.
+package pmacx
+
+import (
+	"crypto/subtle"
+
+	"shef/internal/crypto/aesx"
+)
+
+// TagSize matches the Shield's 16-byte stored tag.
+const TagSize = 16
+
+// MAC is a PMAC instance bound to one AES key.
+type MAC struct {
+	cipher *aesx.Cipher
+	l      [16]byte // L = AES_K(0^128)
+	lInv   [16]byte // L / x, for final-block offset when the last block is full
+}
+
+// New builds a PMAC instance over the given AES key (16 or 32 bytes).
+func New(key []byte) (*MAC, error) {
+	c, err := aesx.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	m := &MAC{cipher: c}
+	var zero [16]byte
+	c.EncryptBlock(m.l[:], zero[:])
+	m.lInv = halve(m.l)
+	return m, nil
+}
+
+// Sum computes the 16-byte PMAC tag of msg.
+func (m *MAC) Sum(msg []byte) [TagSize]byte {
+	var sigma [16]byte
+	full := len(msg) / 16
+	rem := len(msg) % 16
+	lastFull := rem == 0 && full > 0
+	n := full
+	if lastFull {
+		n-- // final full block is folded into the tag computation instead
+	}
+	var tmp, enc [16]byte
+	delta := m.l
+	for i := 0; i < n; i++ {
+		delta = double(delta)
+		for j := 0; j < 16; j++ {
+			tmp[j] = msg[i*16+j] ^ delta[j]
+		}
+		m.cipher.EncryptBlock(enc[:], tmp[:])
+		for j := 0; j < 16; j++ {
+			sigma[j] ^= enc[j]
+		}
+	}
+	// Fold in the final block.
+	var final [16]byte
+	if lastFull {
+		copy(final[:], msg[len(msg)-16:])
+		for j := 0; j < 16; j++ {
+			final[j] ^= sigma[j] ^ m.lInv[j]
+		}
+	} else {
+		// Pad 10* and do not apply the L/x offset (distinguishes lengths).
+		copy(final[:], msg[full*16:])
+		final[rem] = 0x80
+		for j := 0; j < 16; j++ {
+			final[j] ^= sigma[j]
+		}
+	}
+	var tag [16]byte
+	m.cipher.EncryptBlock(tag[:], final[:])
+	return tag
+}
+
+// Verify reports whether tag authenticates msg, in constant time.
+func (m *MAC) Verify(msg []byte, tag [TagSize]byte) bool {
+	want := m.Sum(msg)
+	return subtle.ConstantTimeCompare(want[:], tag[:]) == 1
+}
+
+// double multiplies a 128-bit block by x in GF(2^128) with the standard
+// 0x87 reduction.
+func double(b [16]byte) [16]byte {
+	var out [16]byte
+	carry := byte(0)
+	for i := 15; i >= 0; i-- {
+		out[i] = b[i]<<1 | carry
+		carry = b[i] >> 7
+	}
+	if carry != 0 {
+		out[15] ^= 0x87
+	}
+	return out
+}
+
+// halve multiplies by x^-1 in GF(2^128).
+func halve(b [16]byte) [16]byte {
+	var out [16]byte
+	low := b[15] & 1
+	carry := byte(0)
+	for i := 0; i < 16; i++ {
+		out[i] = b[i]>>1 | carry<<7
+		carry = b[i] & 1
+	}
+	if low != 0 {
+		out[0] ^= 0x80
+		out[15] ^= 0x43
+	}
+	return out
+}
+
+// Cycles is the cost of MACing n bytes on `engines` parallel PMAC engines,
+// each processing one AES block per aesCyclesPerBlock cycles. The block
+// computations distribute across engines; the final XOR-fold and tag
+// encryption are a small serial tail.
+func Cycles(n int, engines int, aesCyclesPerBlock uint64) uint64 {
+	if engines < 1 {
+		engines = 1
+	}
+	blocks := (n + 15) / 16
+	if blocks == 0 {
+		blocks = 1
+	}
+	waves := uint64((blocks + engines - 1) / engines)
+	return waves*aesCyclesPerBlock + aesCyclesPerBlock // parallel phase + final tag block
+}

@@ -1,0 +1,162 @@
+// Package sha256x implements the SHA-256 hash function (FIPS 180-4) from
+// scratch, together with a cycle-cost model for the Shield's hardware hash
+// core.
+//
+// ShEF's Shield authenticates off-chip data with HMAC-SHA256 (paper §5.1);
+// the Bitcoin accelerator (paper §6.2.4) performs double-SHA-256 mining.
+// Both consume this package. The implementation is self-contained so that
+// the repository carries its own substrate, and it is validated against the
+// FIPS 180-4 test vectors in sha256_test.go.
+package sha256x
+
+import "encoding/binary"
+
+// Size is the length of a SHA-256 digest in bytes.
+const Size = 32
+
+// BlockSize is the SHA-256 message block size in bytes.
+const BlockSize = 64
+
+// k holds the SHA-256 round constants: the first 32 bits of the fractional
+// parts of the cube roots of the first 64 primes.
+var k = [64]uint32{
+	0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+	0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+	0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+	0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+	0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+	0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+	0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+	0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+}
+
+// Digest computes the SHA-256 digest of msg.
+func Digest(msg []byte) [Size]byte {
+	var d State
+	d.Reset()
+	d.Write(msg)
+	return d.Sum()
+}
+
+// DoubleDigest computes SHA-256(SHA-256(msg)), the Bitcoin block-header hash.
+func DoubleDigest(msg []byte) [Size]byte {
+	first := Digest(msg)
+	return Digest(first[:])
+}
+
+// State is an incremental SHA-256 computation. The zero value is not ready
+// for use; call Reset first (or use New).
+type State struct {
+	h      [8]uint32
+	buf    [BlockSize]byte
+	nbuf   int
+	length uint64 // total message length in bytes
+}
+
+// New returns a State initialised to the SHA-256 IV.
+func New() *State {
+	var s State
+	s.Reset()
+	return &s
+}
+
+// Reset restores the initial hash value H(0).
+func (s *State) Reset() {
+	s.h = [8]uint32{
+		0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+		0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+	}
+	s.nbuf = 0
+	s.length = 0
+}
+
+// Write absorbs p into the hash state. It never fails.
+func (s *State) Write(p []byte) (int, error) {
+	n := len(p)
+	s.length += uint64(n)
+	if s.nbuf > 0 {
+		c := copy(s.buf[s.nbuf:], p)
+		s.nbuf += c
+		p = p[c:]
+		if s.nbuf == BlockSize {
+			s.block(s.buf[:])
+			s.nbuf = 0
+		}
+	}
+	for len(p) >= BlockSize {
+		s.block(p[:BlockSize])
+		p = p[BlockSize:]
+	}
+	if len(p) > 0 {
+		s.nbuf = copy(s.buf[:], p)
+	}
+	return n, nil
+}
+
+// Sum finalises a copy of the state and returns the digest. The receiver
+// remains usable for further writes.
+func (s *State) Sum() [Size]byte {
+	d := *s // copy so finalisation does not disturb the stream
+	var pad [BlockSize + 8]byte
+	pad[0] = 0x80
+	// Append 0x80, zeros, and the 8-byte bit length so the total becomes a
+	// multiple of the block size with at least 9 padding bytes.
+	padLen := BlockSize - int(d.length%BlockSize)
+	if padLen < 9 {
+		padLen += BlockSize
+	}
+	binary.BigEndian.PutUint64(pad[padLen-8:padLen], d.length*8)
+	d.Write(pad[:padLen])
+	var out [Size]byte
+	for i, v := range d.h {
+		binary.BigEndian.PutUint32(out[i*4:], v)
+	}
+	return out
+}
+
+// block runs the 64-round compression function over one 64-byte block.
+func (s *State) block(p []byte) {
+	var w [64]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = binary.BigEndian.Uint32(p[i*4:])
+	}
+	for i := 16; i < 64; i++ {
+		s0 := rotr(w[i-15], 7) ^ rotr(w[i-15], 18) ^ (w[i-15] >> 3)
+		s1 := rotr(w[i-2], 17) ^ rotr(w[i-2], 19) ^ (w[i-2] >> 10)
+		w[i] = w[i-16] + s0 + w[i-7] + s1
+	}
+	a, b, c, d, e, f, g, h := s.h[0], s.h[1], s.h[2], s.h[3], s.h[4], s.h[5], s.h[6], s.h[7]
+	for i := 0; i < 64; i++ {
+		S1 := rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25)
+		ch := (e & f) ^ (^e & g)
+		t1 := h + S1 + ch + k[i] + w[i]
+		S0 := rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)
+		maj := (a & b) ^ (a & c) ^ (b & c)
+		t2 := S0 + maj
+		h, g, f, e, d, c, b, a = g, f, e, d+t1, c, b, a, t1+t2
+	}
+	s.h[0] += a
+	s.h[1] += b
+	s.h[2] += c
+	s.h[3] += d
+	s.h[4] += e
+	s.h[5] += f
+	s.h[6] += g
+	s.h[7] += h
+}
+
+func rotr(x uint32, n uint) uint32 { return x>>n | x<<(32-n) }
+
+// CyclesPerBlock is the cycle cost of one 64-byte compression in the
+// Shield's SHA-256 core: one round per cycle plus schedule/setup. The core
+// is inherently serial: each block's output chains into the next, so a
+// single HMAC stream cannot be accelerated by adding engines (paper §6.2.3,
+// where HMAC is the SDP bottleneck).
+const CyclesPerBlock = 68
+
+// Cycles returns the cycle cost of hashing n message bytes, including the
+// padding block(s).
+func Cycles(n int) uint64 {
+	blocks := (n + 9 + BlockSize - 1) / BlockSize
+	return uint64(blocks) * CyclesPerBlock
+}

@@ -1,0 +1,106 @@
+package sha256x
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// FIPS 180-4 / NIST example vectors.
+var vectors = []struct {
+	in  string
+	out string
+}{
+	{"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+	{"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+	{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+		"248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+	{"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+		"cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"},
+}
+
+func TestVectors(t *testing.T) {
+	for _, v := range vectors {
+		got := Digest([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.out {
+			t.Errorf("Digest(%q) = %x, want %s", v.in, got, v.out)
+		}
+	}
+}
+
+func TestMillionA(t *testing.T) {
+	msg := bytes.Repeat([]byte{'a'}, 1_000_000)
+	got := Digest(msg)
+	want := "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+	if hex.EncodeToString(got[:]) != want {
+		t.Errorf("million-a digest = %x, want %s", got, want)
+	}
+}
+
+// TestAgainstStdlib cross-checks the from-scratch implementation against
+// crypto/sha256 on random inputs of every small length.
+func TestAgainstStdlib(t *testing.T) {
+	f := func(msg []byte) bool {
+		got := Digest(msg)
+		want := sha256.Sum256(msg)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalWrite(t *testing.T) {
+	msg := []byte("the quick brown fox jumps over the lazy dog, repeatedly, for a while longer than one block")
+	whole := Digest(msg)
+	for split := 0; split <= len(msg); split += 7 {
+		s := New()
+		s.Write(msg[:split])
+		s.Write(msg[split:])
+		if got := s.Sum(); got != whole {
+			t.Fatalf("split at %d: digest mismatch", split)
+		}
+	}
+}
+
+func TestSumDoesNotDisturbStream(t *testing.T) {
+	s := New()
+	s.Write([]byte("hello "))
+	_ = s.Sum()
+	s.Write([]byte("world"))
+	if got, want := s.Sum(), Digest([]byte("hello world")); got != want {
+		t.Fatalf("Sum mid-stream disturbed state: %x != %x", got, want)
+	}
+}
+
+func TestDoubleDigest(t *testing.T) {
+	first := sha256.Sum256([]byte("block"))
+	want := sha256.Sum256(first[:])
+	if got := DoubleDigest([]byte("block")); got != want {
+		t.Fatalf("DoubleDigest mismatch")
+	}
+}
+
+func TestCycles(t *testing.T) {
+	cases := []struct {
+		n      int
+		blocks uint64
+	}{
+		{0, 1}, {55, 1}, {56, 2}, {64, 2}, {119, 2}, {120, 3},
+	}
+	for _, c := range cases {
+		if got := Cycles(c.n); got != c.blocks*CyclesPerBlock {
+			t.Errorf("Cycles(%d) = %d, want %d blocks", c.n, got, c.blocks)
+		}
+	}
+}
+
+func BenchmarkDigest1K(b *testing.B) {
+	msg := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Digest(msg)
+	}
+}

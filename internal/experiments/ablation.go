@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shef/internal/crypto/aesx"
+	"shef/internal/crypto/keywrap"
+	"shef/internal/crypto/modp"
+	"shef/internal/crypto/schnorr"
+	"shef/internal/mem"
+	"shef/internal/oram"
+	"shef/internal/perf"
+	"shef/internal/shield"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out: chunk
+// size (Cmem) against access pattern, on-chip buffer capacity against
+// working-set size, and the price of freshness counters. They drive a
+// single-region Shield directly with synthetic traffic.
+
+// AblationRow is one configuration point.
+type AblationRow struct {
+	Label string
+	// CyclesPerKB is simulated memory-path cost per KB of accelerator
+	// traffic.
+	CyclesPerKB float64
+	// Hits and Misses describe buffer behaviour.
+	Hits, Misses uint64
+	// OCMBits is on-chip memory consumed by the engine set.
+	OCMBits uint64
+}
+
+// ablationShield builds a one-region Shield with the given knobs.
+func ablationShield(chunk, bufBytes int, mac shield.MACKind, fresh bool, size uint64) (*shield.Shield, *mem.OCM, error) {
+	cfg := shield.Config{Regions: []shield.RegionConfig{{
+		Name: "r", Base: 0, Size: size, ChunkSize: chunk,
+		AESEngines: 1, SBox: aesx.SBox16x, KeySize: aesx.AES128,
+		MAC: mac, BufferBytes: bufBytes, Freshness: fresh,
+	}}}
+	params := perf.Default()
+	dram := mem.NewDRAM(size*2+1<<20, params)
+	ocm := mem.NewOCM(1 << 30)
+	priv, err := schnorr.GenerateKey(modp.TestGroup, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	sh, err := shield.New(cfg, priv, dram, ocm, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	dek := make([]byte, 32)
+	lk, err := keywrap.Wrap(sh.PublicKey(), dek, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sh.ProvisionLoadKey(lk); err != nil {
+		return nil, nil, err
+	}
+	return sh, ocm, nil
+}
+
+// AblationChunkSize sweeps Cmem for two access patterns: sequential
+// streaming (large chunks amortise tags and MAC finalisation) and sparse
+// random 64-byte reads (large chunks transfer unneeded bytes). This is the
+// paper's §5.2.1 trade-off made quantitative.
+func AblationChunkSize() ([]AblationRow, []AblationRow, error) {
+	const size = 1 << 20
+	chunks := []int{64, 256, 512, 1024, 4096}
+	var streaming, random []AblationRow
+	for _, c := range chunks {
+		// Streaming: write the region once, read it once.
+		sh, _, err := ablationShield(c, 4*c, shield.HMAC, false, size)
+		if err != nil {
+			return nil, nil, err
+		}
+		buf := make([]byte, 4096)
+		for off := uint64(0); off < size; off += 4096 {
+			if _, err := sh.WriteBurst(off, buf); err != nil {
+				return nil, nil, err
+			}
+		}
+		sh.Flush()
+		for off := uint64(0); off < size; off += 4096 {
+			if _, err := sh.ReadBurst(off, buf); err != nil {
+				return nil, nil, err
+			}
+		}
+		rep := sh.Report()
+		streaming = append(streaming, AblationRow{
+			Label:       fmt.Sprintf("Cmem=%d", c),
+			CyclesPerKB: float64(rep.MemoryCycles()) / (2 * size / 1024),
+			Hits:        rep.Regions[0].Hits,
+			Misses:      rep.Regions[0].Misses,
+		})
+
+		// Random: sparse 64-byte writes then reads scattered over the
+		// region — the graph-processing pattern of §5.2.1.
+		sh2, _, err := ablationShield(c, 8*c, shield.HMAC, false, size)
+		if err != nil {
+			return nil, nil, err
+		}
+		rng := rand.New(rand.NewSource(5))
+		small := make([]byte, 64)
+		var traffic uint64
+		for i := 0; i < 4096; i++ {
+			addr := uint64(rng.Intn(size/64)) * 64
+			if i%2 == 0 {
+				_, err = sh2.WriteBurst(addr, small)
+			} else {
+				_, err = sh2.ReadBurst(addr, small)
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			traffic += 64
+		}
+		if err := sh2.Flush(); err != nil {
+			return nil, nil, err
+		}
+		rep2 := sh2.Report()
+		random = append(random, AblationRow{
+			Label:       fmt.Sprintf("Cmem=%d", c),
+			CyclesPerKB: float64(rep2.MemoryCycles()) / (float64(traffic) / 1024),
+			Hits:        rep2.Regions[0].Hits,
+			Misses:      rep2.Regions[0].Misses,
+		})
+	}
+	return streaming, random, nil
+}
+
+// AblationBufferSize sweeps the on-chip buffer against a fixed random
+// working set, showing the miss-rate knee the paper exploits for
+// DNNWeaver's feature maps.
+func AblationBufferSize() ([]AblationRow, error) {
+	const size = 1 << 18 // 256 KB region
+	const chunk = 64
+	var rows []AblationRow
+	for _, buf := range []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10} {
+		sh, ocm, err := ablationShield(chunk, buf, shield.HMAC, true, size)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(9))
+		word := make([]byte, 64)
+		// Working set: 64 KB of hot chunks, accessed 8192 times.
+		for i := 0; i < 8192; i++ {
+			addr := uint64(rng.Intn(64<<10/64)) * 64
+			if i%2 == 0 {
+				sh.ReadBurst(addr, word)
+			} else {
+				sh.WriteBurst(addr, word)
+			}
+		}
+		rep := sh.Report()
+		rows = append(rows, AblationRow{
+			Label:       fmt.Sprintf("buffer=%dKB", buf>>10),
+			CyclesPerKB: float64(rep.MemoryCycles()) / (8192 * 64 / 1024),
+			Hits:        rep.Regions[0].Hits,
+			Misses:      rep.Regions[0].Misses,
+			OCMBits:     ocm.UsedBits(),
+		})
+	}
+	return rows, nil
+}
+
+// AblationFreshness compares a read-write region with and without replay
+// counters: the security/area trade-off of §5.2.2.
+func AblationFreshness() ([]AblationRow, error) {
+	const size = 1 << 20
+	const chunk = 64
+	var rows []AblationRow
+	for _, fresh := range []bool{false, true} {
+		sh, ocm, err := ablationShield(chunk, 16<<10, shield.HMAC, fresh, size)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(3))
+		word := make([]byte, 64)
+		for i := 0; i < 8192; i++ {
+			addr := uint64(rng.Intn(size/64)) * 64
+			if i%2 == 0 {
+				sh.ReadBurst(addr, word)
+			} else {
+				sh.WriteBurst(addr, word)
+			}
+		}
+		sh.Flush()
+		rep := sh.Report()
+		label := "no-counters (replayable)"
+		if fresh {
+			label = "freshness counters"
+		}
+		rows = append(rows, AblationRow{
+			Label:       label,
+			CyclesPerKB: float64(rep.MemoryCycles()) / (8192 * 64 / 1024),
+			OCMBits:     ocm.UsedBits(),
+		})
+	}
+	return rows, nil
+}
+
+// ORAMAmplification measures the Path ORAM extension's bandwidth blow-up
+// over a shielded region (the cost of hiding addresses, §5.2.2).
+func ORAMAmplification() (float64, error) {
+	const blocks, bs = 128, 64
+	foot := oram.FootprintBytes(blocks, bs)
+	regionSize := (foot + 511) / 512 * 512
+	sh, _, err := ablationShield(512, 8192, shield.HMAC, true, regionSize)
+	if err != nil {
+		return 0, err
+	}
+	o, err := oram.New(sh, 0, blocks, bs, 17)
+	if err != nil {
+		return 0, err
+	}
+	data := make([]byte, bs)
+	for i := 0; i < 512; i++ {
+		if i%2 == 0 {
+			if err := o.Write(i%blocks, data); err != nil {
+				return 0, err
+			}
+		} else if _, err := o.Read(i % blocks); err != nil {
+			return 0, err
+		}
+	}
+	return o.Amplification(), nil
+}

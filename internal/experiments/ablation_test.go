@@ -1,0 +1,76 @@
+package experiments
+
+import "testing"
+
+// TestAblationChunkSize: the §5.2.1 trade-off must materialise — for
+// streaming, larger chunks are cheaper per byte; for sparse random access,
+// past the access granularity they get more expensive.
+func TestAblationChunkSize(t *testing.T) {
+	streaming, random, err := AblationChunkSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range streaming {
+		t.Logf("streaming %-10s %8.0f cycles/KB (hits %d misses %d)", r.Label, r.CyclesPerKB, r.Hits, r.Misses)
+		if i > 0 && r.CyclesPerKB > streaming[i-1].CyclesPerKB*1.02 {
+			t.Errorf("streaming cost rose with chunk size at %s", r.Label)
+		}
+	}
+	for _, r := range random {
+		t.Logf("random    %-10s %8.0f cycles/KB (hits %d misses %d)", r.Label, r.CyclesPerKB, r.Hits, r.Misses)
+	}
+	// Random sparse 64B accesses: the 4 KB chunk must cost more per byte
+	// than the 64 B chunk (unneeded bytes transferred + bigger MACs).
+	if random[len(random)-1].CyclesPerKB <= random[0].CyclesPerKB {
+		t.Errorf("random access: Cmem=4096 (%0.f) not more expensive than Cmem=64 (%0.f)",
+			random[len(random)-1].CyclesPerKB, random[0].CyclesPerKB)
+	}
+}
+
+// TestAblationBufferSize: once the buffer covers the 64 KB working set,
+// cost collapses and stays flat.
+func TestAblationBufferSize(t *testing.T) {
+	rows, err := AblationBufferSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%-14s %8.0f cycles/KB (hits %d misses %d, ocm %d bits)",
+			r.Label, r.CyclesPerKB, r.Hits, r.Misses, r.OCMBits)
+	}
+	small := rows[0].CyclesPerKB  // 1 KB buffer: thrashing
+	large := rows[3].CyclesPerKB  // 64 KB buffer: working set resident
+	larger := rows[4].CyclesPerKB // 256 KB: no further gain
+	if large > small/2 {
+		t.Errorf("buffer at working-set size did not collapse cost: %.0f vs %.0f", large, small)
+	}
+	if larger < large*0.5 {
+		t.Errorf("oversized buffer gained too much: %.0f vs %.0f (model suspicious)", larger, large)
+	}
+	if rows[4].OCMBits <= rows[0].OCMBits {
+		t.Error("bigger buffer did not consume more on-chip memory")
+	}
+}
+
+// TestAblationFreshness: counters cost on-chip memory and a little time,
+// and buy replay protection (security checked in the shield tests).
+func TestAblationFreshness(t *testing.T) {
+	rows, err := AblationFreshness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%-26s %8.0f cycles/KB, ocm %d bits", r.Label, r.CyclesPerKB, r.OCMBits)
+	}
+	noFresh, fresh := rows[0], rows[1]
+	if fresh.OCMBits <= noFresh.OCMBits {
+		t.Error("freshness counters consumed no on-chip memory")
+	}
+	// 1 MB region at 64 B chunks: 16384 counters * 32 bits = 512 Kbit.
+	if diff := fresh.OCMBits - noFresh.OCMBits; diff != 16384*32 {
+		t.Errorf("counter storage = %d bits, want %d", diff, 16384*32)
+	}
+	if fresh.CyclesPerKB < noFresh.CyclesPerKB*0.95 {
+		t.Error("freshness made the shield faster (model inconsistent)")
+	}
+}

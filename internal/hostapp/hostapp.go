@@ -1,0 +1,290 @@
+// Package hostapp assembles the end-to-end ShEF deployment (paper Figure
+// 2): Manufacturer provisioning, secure boot, Shell loading, remote
+// attestation against an IP Vendor, accelerator loading through the
+// Security Kernel, Shield construction, and Data Owner key provisioning.
+//
+// The package plays the untrusted host-program role plus all the parties
+// around it; the trust boundaries live in the packages it wires together.
+// Everything it moves between the Data Owner and the FPGA is ciphertext
+// (paper §3 step 11: "the host program forwards the Load Key and the
+// encrypted data to the FPGA").
+package hostapp
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"net"
+
+	"shef/internal/accel"
+	"shef/internal/attest"
+	"shef/internal/bitstream"
+	"shef/internal/boot"
+	"shef/internal/crypto/keywrap"
+	"shef/internal/crypto/modp"
+	"shef/internal/crypto/schnorr"
+	"shef/internal/fpga"
+	"shef/internal/perf"
+	"shef/internal/shell"
+	"shef/internal/shield"
+)
+
+// Options configure a platform build.
+type Options struct {
+	// Model is the FPGA device (default fpga.VU9P).
+	Model fpga.Model
+	// Serial is the device serial (defaults to a fixed demo serial).
+	Serial string
+	// Group is the attestation group (default modp.TestGroup for speed;
+	// production deployments use modp.Group14).
+	Group *modp.Group
+	// DeviceKeyBits sizes the RSA device key (default 1024 in simulation).
+	DeviceKeyBits int
+	// Design and Params pick the accelerator from the registry.
+	Design string
+	Params map[string]string
+	// Variant selects the Shield engine configuration.
+	Variant accel.Variant
+	// Perf are the cycle-model parameters (default perf.Default).
+	Perf *perf.Params
+	// DRAMSize overrides the device memory size (0 = model default).
+	DRAMSize uint64
+}
+
+func (o *Options) fill() error {
+	if o.Model.Name == "" {
+		o.Model = fpga.VU9P
+	}
+	if o.Serial == "" {
+		o.Serial = "f1-sim-0001"
+	}
+	if o.Group == nil {
+		o.Group = modp.TestGroup
+	}
+	if o.DeviceKeyBits == 0 {
+		o.DeviceKeyBits = 1024
+	}
+	if o.Design == "" {
+		return fmt.Errorf("hostapp: no design selected")
+	}
+	if o.Variant == (accel.Variant{}) {
+		o.Variant = accel.V128x16
+	}
+	if o.Perf == nil {
+		p := perf.Default()
+		o.Perf = &p
+	}
+	return nil
+}
+
+// Platform is a fully assembled, attested, provisioned deployment ready to
+// run its accelerator.
+type Platform struct {
+	Options  Options
+	PD       *boot.ProvisionedDevice
+	Kernel   *boot.SecurityKernel
+	Shell    *shell.Shell
+	Product  string
+	Enc      *bitstream.Encrypted
+	Manifest *bitstream.Manifest
+	Shield   *shield.Shield
+	Workload accel.Workload
+	// DEK is the Data Owner's session key (owner-side copy).
+	DEK []byte
+}
+
+// BuildVendor creates the IP Vendor side for a design: it compiles the
+// accelerator + Shield into an encrypted bitstream and stands up the
+// attestation state. The returned product name keys the offering.
+func BuildVendor(opts Options) (*attest.Vendor, string, error) {
+	if err := opts.fill(); err != nil {
+		return nil, "", err
+	}
+	w, err := accel.New(opts.Design, opts.Params)
+	if err != nil {
+		return nil, "", err
+	}
+	cfg := w.ShieldConfig(opts.Variant)
+	shieldKey, err := schnorr.GenerateKey(opts.Group, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	bitKey := make([]byte, 32)
+	if _, err := rand.Read(bitKey); err != nil {
+		return nil, "", err
+	}
+	man := &bitstream.Manifest{
+		Design:        opts.Design,
+		Version:       "1.0.0",
+		Params:        opts.Params,
+		Shield:        cfg,
+		ShieldPrivKey: shieldKey.X.Bytes(),
+		Group:         opts.Group.Name,
+		// Accelerator logic on top of the Shield area.
+		Resources: shield.Area(cfg).Add(fpga.Resources{LUT: 20_000, REG: 15_000, BRAM: 8}),
+	}
+	product := opts.Design
+	enc, err := bitstream.Compile(product+"-afi", man, bitKey, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	vendor := &attest.Vendor{
+		CA:              attest.NewCA(),
+		KernelAllowlist: [][32]byte{boot.ReferenceKernel.Hash()},
+		Bitstreams: map[string]*attest.Product{
+			product: {Encrypted: enc, BitstreamKey: bitKey, ShieldPub: &shieldKey.PublicKey},
+		},
+	}
+	return vendor, product, nil
+}
+
+// DialFunc opens a fresh Data Owner connection to the vendor.
+type DialFunc func() (io.ReadWriteCloser, error)
+
+// LocalDial serves a vendor in-process over net.Pipe, one request per
+// connection — the same message flow shefd serves over TCP.
+func LocalDial(vendor *attest.Vendor) DialFunc {
+	return func() (io.ReadWriteCloser, error) {
+		oc, vc := net.Pipe()
+		go func() {
+			vendor.HandleOwner(vc)
+			vc.Close()
+		}()
+		return oc, nil
+	}
+}
+
+// Build assembles the complete workflow in-process: every protocol message
+// still flows through real (in-memory) connections.
+func Build(opts Options) (*Platform, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	vendor, product, err := BuildVendor(opts)
+	if err != nil {
+		return nil, err
+	}
+	return BuildAgainstVendor(opts, product, LocalDial(vendor), vendor)
+}
+
+// BuildAgainstVendor assembles the device/host side against a vendor
+// reachable through dial (e.g. a remote shefd over TCP). registerWith, if
+// non-nil, lets the build register the device key directly in the vendor's
+// CA; otherwise the registration request travels over the wire.
+func BuildAgainstVendor(opts Options, product string, dial DialFunc, registerWith *attest.Vendor) (*Platform, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	// Manufacturer: provision the device; publish its key via the CA.
+	dev := fpga.New(opts.Model, opts.Serial, *opts.Perf, opts.DRAMSize)
+	m := &boot.Manufacturer{Group: opts.Group, KeyBits: opts.DeviceKeyBits}
+	pd, err := m.Provision(dev)
+	if err != nil {
+		return nil, err
+	}
+	if registerWith != nil {
+		registerWith.CA.Register(dev.Serial, pd.DevicePublic)
+	} else {
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		err = attest.RegisterDevice(conn, dev.Serial, pd.DevicePublic)
+		conn.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Secure boot and Shell load (paper §3 steps 6-9).
+	kernel, err := boot.Boot(pd, boot.ReferenceKernel, opts.Group)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := shell.New("aws-shell-v1.4", dev)
+	if err != nil {
+		return nil, err
+	}
+
+	// Data Owner: fetch the (public) encrypted bitstream.
+	conn, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	enc, err := attest.FetchBitstream(conn, product)
+	conn.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	// Remote attestation, proxied by this (untrusted) host program.
+	conn, err = dial()
+	if err != nil {
+		return nil, err
+	}
+	resp, shieldPub, bitKey, err := attest.ProvisionViaHost(conn, product, opts.Group, kernel, enc)
+	conn.Close()
+	if err != nil {
+		return nil, err
+	}
+	wantHash := enc.Hash()
+	if string(resp.BitstreamHash) != string(wantHash[:]) {
+		return nil, fmt.Errorf("hostapp: vendor attested a different bitstream than we fetched")
+	}
+
+	// The Security Kernel decrypts and loads the accelerator with the key
+	// it received through the attested session (paper §3 step 9).
+	man, err := kernel.LoadAccelerator(enc, bitKey)
+	if err != nil {
+		return nil, err
+	}
+
+	// Instantiate the programmed logic: accelerator + Shield with the
+	// embedded Shield Encryption Key.
+	w, err := accel.New(man.Design, man.Params)
+	if err != nil {
+		return nil, err
+	}
+	shieldPriv, err := man.ShieldKey()
+	if err != nil {
+		return nil, err
+	}
+	if shieldPriv.Y.Cmp(shieldPub.Y) != 0 {
+		return nil, fmt.Errorf("hostapp: vendor's shield key does not match the bitstream")
+	}
+	sd, err := shield.New(man.Shield, shieldPriv, sh.MemPort(), dev.OCM, *opts.Perf)
+	if err != nil {
+		return nil, err
+	}
+
+	// Data Owner: generate the DEK and provision it via a Load Key
+	// (Figure 3 steps 7-8, §3 steps 10-11).
+	dek := make([]byte, 32)
+	if _, err := rand.Read(dek); err != nil {
+		return nil, err
+	}
+	lk, err := keywrap.Wrap(shieldPub, dek, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := sd.ProvisionLoadKey(lk); err != nil {
+		return nil, err
+	}
+
+	return &Platform{
+		Options: opts, PD: pd, Kernel: kernel, Shell: sh,
+		Product: product, Enc: enc, Manifest: man,
+		Shield: sd, Workload: w, DEK: dek,
+	}, nil
+}
+
+// Run executes the platform's workload through the provisioned Shield,
+// including the sealed input/output host paths.
+func (p *Platform) Run(seed int64) (accel.RunResult, error) {
+	return accel.RunOnShield(p.Workload, p.Shield, p.Shell.Device().DRAM, p.DEK, *p.Options.Perf, seed)
+}
+
+// MonitorOnce performs one Security Kernel port scan (paper §3 step 9).
+func (p *Platform) MonitorOnce() []fpga.TamperEvent {
+	return p.Kernel.MonitorPorts()
+}

@@ -1,0 +1,155 @@
+// Package mem provides the simulated memory substrate: off-chip device
+// DRAM (untrusted in ShEF's threat model) and on-chip BRAM/URAM (trusted,
+// capacity-accounted).
+//
+// The DRAM stores real bytes — after the Shield is interposed those bytes
+// are ciphertext plus MAC tags — and additionally exposes the attack
+// surface the paper's adversary has: arbitrary reads (snooping), writes
+// (spoofing/splicing), and snapshot/restore (replay). The Shield's security
+// tests drive those hooks directly.
+package mem
+
+import (
+	"fmt"
+	"sync"
+
+	"shef/internal/perf"
+)
+
+// DRAM is a byte-addressable off-chip memory with a bandwidth/latency cycle
+// model. Storage is allocated page-wise on first touch so a 64 GB device
+// memory can be declared without committing 64 GB of host RAM.
+type DRAM struct {
+	mu     sync.Mutex
+	size   uint64
+	pages  map[uint64][]byte
+	params perf.Params
+
+	// Statistics, for benchmarks and the DESIGN.md ablations.
+	readBytes  uint64
+	writeBytes uint64
+	reads      uint64
+	writes     uint64
+}
+
+const pageSize = 1 << 16
+
+// NewDRAM creates a DRAM of the given byte size with the cycle parameters.
+func NewDRAM(size uint64, params perf.Params) *DRAM {
+	return &DRAM{size: size, pages: make(map[uint64][]byte), params: params}
+}
+
+// Size reports the memory capacity in bytes.
+func (d *DRAM) Size() uint64 { return d.size }
+
+// ReadBurst reads len(buf) bytes at addr and returns the simulated cycle
+// cost of the burst.
+func (d *DRAM) ReadBurst(addr uint64, buf []byte) (uint64, error) {
+	if err := d.check(addr, len(buf)); err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	d.copyOut(addr, buf)
+	d.reads++
+	d.readBytes += uint64(len(buf))
+	d.mu.Unlock()
+	return d.params.DRAMCycles(len(buf)), nil
+}
+
+// WriteBurst writes data at addr and returns the simulated cycle cost.
+func (d *DRAM) WriteBurst(addr uint64, data []byte) (uint64, error) {
+	if err := d.check(addr, len(data)); err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	d.copyIn(addr, data)
+	d.writes++
+	d.writeBytes += uint64(len(data))
+	d.mu.Unlock()
+	return d.params.DRAMCycles(len(data)), nil
+}
+
+// RawRead performs an adversarial read: no cycle accounting, no statistics.
+// This models physical bus probing or a malicious Shell (paper §2.5).
+func (d *DRAM) RawRead(addr uint64, n int) ([]byte, error) {
+	if err := d.check(addr, n); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	d.mu.Lock()
+	d.copyOut(addr, buf)
+	d.mu.Unlock()
+	return buf, nil
+}
+
+// RawWrite performs an adversarial write (spoofing attack).
+func (d *DRAM) RawWrite(addr uint64, data []byte) error {
+	if err := d.check(addr, len(data)); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.copyIn(addr, data)
+	d.mu.Unlock()
+	return nil
+}
+
+// Snapshot copies out a region so an adversary can later replay it.
+func (d *DRAM) Snapshot(addr uint64, n int) ([]byte, error) {
+	return d.RawRead(addr, n)
+}
+
+// Restore writes back a snapshot (replay attack).
+func (d *DRAM) Restore(addr uint64, snap []byte) error {
+	return d.RawWrite(addr, snap)
+}
+
+// Stats reports cumulative traffic counters.
+func (d *DRAM) Stats() (reads, writes, readBytes, writeBytes uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads, d.writes, d.readBytes, d.writeBytes
+}
+
+// ResetStats zeroes the traffic counters.
+func (d *DRAM) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reads, d.writes, d.readBytes, d.writeBytes = 0, 0, 0, 0
+}
+
+func (d *DRAM) check(addr uint64, n int) error {
+	if n < 0 {
+		return fmt.Errorf("mem: negative length %d", n)
+	}
+	if addr+uint64(n) > d.size || addr+uint64(n) < addr {
+		return fmt.Errorf("mem: access [%#x, %#x) outside DRAM of size %#x", addr, addr+uint64(n), d.size)
+	}
+	return nil
+}
+
+func (d *DRAM) page(idx uint64) []byte {
+	p, ok := d.pages[idx]
+	if !ok {
+		p = make([]byte, pageSize)
+		d.pages[idx] = p
+	}
+	return p
+}
+
+func (d *DRAM) copyOut(addr uint64, buf []byte) {
+	for off := 0; off < len(buf); {
+		pidx := (addr + uint64(off)) / pageSize
+		poff := (addr + uint64(off)) % pageSize
+		n := copy(buf[off:], d.page(pidx)[poff:])
+		off += n
+	}
+}
+
+func (d *DRAM) copyIn(addr uint64, data []byte) {
+	for off := 0; off < len(data); {
+		pidx := (addr + uint64(off)) / pageSize
+		poff := (addr + uint64(off)) % pageSize
+		n := copy(d.page(pidx)[poff:], data[off:])
+		off += n
+	}
+}

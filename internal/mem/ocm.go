@@ -1,0 +1,61 @@
+package mem
+
+import "fmt"
+
+// OCM models the FPGA's on-chip memory pool (Block RAM + UltraRAM).
+// UltraScale+ devices provide hundreds of megabits of on-chip RAM, which is
+// exactly the resource ShEF leverages to hold Shield buffers and freshness
+// counters instead of a Merkle tree (paper §5.2.2: "contemporary FPGAs
+// provide much more on-chip memory via new technologies such as UltraRAM").
+//
+// OCM enforces a capacity budget: allocations beyond the device's pool fail
+// the way an over-provisioned bitstream would fail placement.
+type OCM struct {
+	capacityBits uint64
+	usedBits     uint64
+}
+
+// NewOCM creates an on-chip memory pool with the given capacity in bits.
+func NewOCM(capacityBits uint64) *OCM {
+	return &OCM{capacityBits: capacityBits}
+}
+
+// Alloc reserves nBytes of on-chip storage and returns the backing buffer.
+// It fails when the device's on-chip pool is exhausted.
+func (o *OCM) Alloc(nBytes int) ([]byte, error) {
+	if nBytes < 0 {
+		return nil, fmt.Errorf("mem: negative OCM allocation %d", nBytes)
+	}
+	bits := uint64(nBytes) * 8
+	if o.usedBits+bits > o.capacityBits {
+		return nil, fmt.Errorf("mem: OCM exhausted: need %d bits, %d of %d in use",
+			bits, o.usedBits, o.capacityBits)
+	}
+	o.usedBits += bits
+	return make([]byte, nBytes), nil
+}
+
+// Free returns capacity to the pool (used when a partial bitstream is
+// cleared during reconfiguration).
+func (o *OCM) Free(nBytes int) {
+	bits := uint64(nBytes) * 8
+	if bits > o.usedBits {
+		o.usedBits = 0
+		return
+	}
+	o.usedBits -= bits
+}
+
+// UsedBits reports the currently allocated on-chip bits.
+func (o *OCM) UsedBits() uint64 { return o.usedBits }
+
+// CapacityBits reports the pool capacity.
+func (o *OCM) CapacityBits() uint64 { return o.capacityBits }
+
+// Utilization reports the fraction of on-chip memory in use.
+func (o *OCM) Utilization() float64 {
+	if o.capacityBits == 0 {
+		return 0
+	}
+	return float64(o.usedBits) / float64(o.capacityBits)
+}

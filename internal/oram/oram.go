@@ -1,0 +1,242 @@
+// Package oram implements Path ORAM (Stefanov et al., CCS'13) on top of an
+// axi.MemoryPort — the address-metadata countermeasure the paper names as
+// a drop-in extension: "Further security mechanisms against address
+// metadata attacks, such as ORAM, can simply be added by adopting
+// open-source modules on top of Shield engines due to their generic
+// interface" (§5.2.2).
+//
+// Stacked on a Shield region, the combination hides both *contents* (the
+// Shield's authenticated encryption) and *addresses* (every logical access
+// touches exactly one uniformly random root-to-leaf path of the ORAM
+// tree). The position map and stash live in on-chip memory, as the cited
+// FPGA ORAM controller keeps them.
+package oram
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"shef/internal/axi"
+)
+
+// BucketSlots is Z, the number of block slots per tree bucket. Z = 4 is
+// the standard Path ORAM parameter with negligible stash overflow.
+const BucketSlots = 4
+
+// slotHeader is the per-slot metadata: 8 bytes holding the resident block
+// ID (or invalidID).
+const slotHeaderBytes = 8
+
+const invalidID = ^uint64(0)
+
+// ORAM is a Path ORAM controller over numBlocks logical blocks of
+// blockSize bytes each.
+type ORAM struct {
+	port      axi.MemoryPort
+	base      uint64
+	blockSize int
+	numBlocks int
+	levels    int // tree height; leaves = 1<<levels
+	rng       *rand.Rand
+
+	// Client (on-chip) state.
+	position []uint32          // block -> leaf
+	stash    map[uint64][]byte // block -> data
+	maxStash int
+
+	// Statistics.
+	accesses   uint64
+	bytesMoved uint64
+}
+
+// TreeBuckets returns the bucket count for the configured geometry.
+func (o *ORAM) TreeBuckets() int { return 1<<(o.levels+1) - 1 }
+
+// FootprintBytes is the backend space the tree occupies.
+func FootprintBytes(numBlocks, blockSize int) uint64 {
+	levels := heightFor(numBlocks)
+	buckets := uint64(1<<(levels+1) - 1)
+	return buckets * uint64(BucketSlots) * uint64(slotHeaderBytes+blockSize)
+}
+
+func heightFor(numBlocks int) int {
+	levels := 0
+	for 1<<levels < numBlocks {
+		levels++
+	}
+	// One leaf per block is the textbook setting; the tree has levels+1
+	// levels including the root.
+	return levels
+}
+
+// New builds an ORAM of numBlocks blocks of blockSize bytes over port,
+// placing the tree at base. The backend window must cover
+// FootprintBytes(numBlocks, blockSize). seed drives the (simulated)
+// hardware RNG that draws fresh leaves.
+func New(port axi.MemoryPort, base uint64, numBlocks, blockSize int, seed int64) (*ORAM, error) {
+	if numBlocks < 2 {
+		return nil, errors.New("oram: need at least 2 blocks")
+	}
+	if blockSize <= 0 || blockSize%8 != 0 {
+		return nil, fmt.Errorf("oram: block size %d must be a positive multiple of 8", blockSize)
+	}
+	o := &ORAM{
+		port:      port,
+		base:      base,
+		blockSize: blockSize,
+		numBlocks: numBlocks,
+		levels:    heightFor(numBlocks),
+		rng:       rand.New(rand.NewSource(seed)),
+		position:  make([]uint32, numBlocks),
+		stash:     make(map[uint64][]byte),
+	}
+	for i := range o.position {
+		o.position[i] = uint32(o.rng.Intn(1 << o.levels))
+	}
+	// Initialise every bucket slot as empty.
+	empty := make([]byte, o.bucketBytes())
+	for s := 0; s < BucketSlots; s++ {
+		binary.LittleEndian.PutUint64(empty[s*o.slotBytes():], invalidID)
+	}
+	for b := 0; b < o.TreeBuckets(); b++ {
+		if _, err := port.WriteBurst(o.bucketAddr(b), empty); err != nil {
+			return nil, fmt.Errorf("oram: initialising bucket %d: %w", b, err)
+		}
+	}
+	return o, nil
+}
+
+func (o *ORAM) slotBytes() int   { return slotHeaderBytes + o.blockSize }
+func (o *ORAM) bucketBytes() int { return BucketSlots * o.slotBytes() }
+
+func (o *ORAM) bucketAddr(bucket int) uint64 {
+	return o.base + uint64(bucket*o.bucketBytes())
+}
+
+// pathBuckets returns the bucket indices from the root to the given leaf.
+// Bucket numbering is heap order: root = 0, children of i are 2i+1, 2i+2.
+func (o *ORAM) pathBuckets(leaf uint32) []int {
+	path := make([]int, o.levels+1)
+	node := int(leaf) + (1 << o.levels) - 1 // leaf bucket index
+	for l := o.levels; l >= 0; l-- {
+		path[l] = node
+		node = (node - 1) / 2
+	}
+	return path
+}
+
+// onPath reports whether bucket sits on the path to leaf at some level.
+func (o *ORAM) bucketAtLevel(leaf uint32, level int) int {
+	node := int(leaf) + (1 << o.levels) - 1
+	for l := o.levels; l > level; l-- {
+		node = (node - 1) / 2
+	}
+	return node
+}
+
+// Access performs one oblivious operation. If write is true, data replaces
+// the block's contents; the previous contents are returned either way.
+func (o *ORAM) Access(block int, write bool, data []byte) ([]byte, error) {
+	if block < 0 || block >= o.numBlocks {
+		return nil, fmt.Errorf("oram: block %d out of range", block)
+	}
+	if write && len(data) != o.blockSize {
+		return nil, fmt.Errorf("oram: write of %d bytes, want %d", len(data), o.blockSize)
+	}
+	o.accesses++
+	id := uint64(block)
+	leaf := o.position[block]
+	// Remap before anything touches the backend: the old position must
+	// not influence future accesses.
+	o.position[block] = uint32(o.rng.Intn(1 << o.levels))
+
+	// Read the whole path into the stash.
+	path := o.pathBuckets(leaf)
+	buf := make([]byte, o.bucketBytes())
+	for _, b := range path {
+		if _, err := o.port.ReadBurst(o.bucketAddr(b), buf); err != nil {
+			return nil, err
+		}
+		o.bytesMoved += uint64(len(buf))
+		for s := 0; s < BucketSlots; s++ {
+			slot := buf[s*o.slotBytes() : (s+1)*o.slotBytes()]
+			sid := binary.LittleEndian.Uint64(slot)
+			if sid == invalidID {
+				continue
+			}
+			blk := make([]byte, o.blockSize)
+			copy(blk, slot[slotHeaderBytes:])
+			o.stash[sid] = blk
+		}
+	}
+
+	// Serve the request from the stash.
+	old, ok := o.stash[id]
+	if !ok {
+		old = make([]byte, o.blockSize) // first touch: zeros
+	}
+	result := append([]byte(nil), old...)
+	if write {
+		o.stash[id] = append([]byte(nil), data...)
+	} else {
+		o.stash[id] = old
+	}
+
+	// Evict: refill the path greedily from leaf level upward with stash
+	// blocks whose (new) position still passes through each bucket.
+	for l := o.levels; l >= 0; l-- {
+		bucket := path[l]
+		out := make([]byte, o.bucketBytes())
+		filled := 0
+		for sid, blk := range o.stash {
+			if filled == BucketSlots {
+				break
+			}
+			if o.bucketAtLevel(o.position[sid], l) != bucket {
+				continue
+			}
+			slot := out[filled*o.slotBytes():]
+			binary.LittleEndian.PutUint64(slot, sid)
+			copy(slot[slotHeaderBytes:], blk)
+			delete(o.stash, sid)
+			filled++
+		}
+		for s := filled; s < BucketSlots; s++ {
+			binary.LittleEndian.PutUint64(out[s*o.slotBytes():], invalidID)
+		}
+		if _, err := o.port.WriteBurst(o.bucketAddr(bucket), out); err != nil {
+			return nil, err
+		}
+		o.bytesMoved += uint64(len(out))
+	}
+	if len(o.stash) > o.maxStash {
+		o.maxStash = len(o.stash)
+	}
+	return result, nil
+}
+
+// Read returns a block's contents obliviously.
+func (o *ORAM) Read(block int) ([]byte, error) { return o.Access(block, false, nil) }
+
+// Write stores a block obliviously.
+func (o *ORAM) Write(block int, data []byte) error {
+	_, err := o.Access(block, true, data)
+	return err
+}
+
+// Stats reports access count, backend bytes moved, and the stash
+// high-water mark (which must stay small for Path ORAM to be sound).
+func (o *ORAM) Stats() (accesses, bytesMoved uint64, maxStash int) {
+	return o.accesses, o.bytesMoved, o.maxStash
+}
+
+// Amplification is the bandwidth blow-up per logical byte: the price of
+// hiding addresses.
+func (o *ORAM) Amplification() float64 {
+	if o.accesses == 0 {
+		return 0
+	}
+	return float64(o.bytesMoved) / float64(o.accesses*uint64(o.blockSize))
+}

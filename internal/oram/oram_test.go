@@ -1,0 +1,234 @@
+package oram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"shef/internal/crypto/aesx"
+	"shef/internal/crypto/keywrap"
+	"shef/internal/crypto/modp"
+	"shef/internal/crypto/schnorr"
+	"shef/internal/mem"
+	"shef/internal/perf"
+	"shef/internal/shield"
+)
+
+func newORAM(t *testing.T, blocks, blockSize int) (*ORAM, *recorder) {
+	t.Helper()
+	dram := mem.NewDRAM(FootprintBytes(blocks, blockSize)+1<<16, perf.Default())
+	rec := &recorder{inner: dram}
+	o, err := New(rec, 0, blocks, blockSize, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.reset() // drop initialisation traffic
+	return o, rec
+}
+
+// recorder logs every backend access address for obliviousness checks.
+type recorder struct {
+	inner  *mem.DRAM
+	reads  []uint64
+	writes []uint64
+}
+
+func (r *recorder) ReadBurst(addr uint64, buf []byte) (uint64, error) {
+	r.reads = append(r.reads, addr)
+	return r.inner.ReadBurst(addr, buf)
+}
+
+func (r *recorder) WriteBurst(addr uint64, data []byte) (uint64, error) {
+	r.writes = append(r.writes, addr)
+	return r.inner.WriteBurst(addr, data)
+}
+
+func (r *recorder) reset() { r.reads, r.writes = nil, nil }
+
+func TestORAMMatchesFlatMemory(t *testing.T) {
+	const blocks, bs = 64, 64
+	o, _ := newORAM(t, blocks, bs)
+	ref := make(map[int][]byte)
+	rng := rand.New(rand.NewSource(7))
+	for op := 0; op < 2000; op++ {
+		b := rng.Intn(blocks)
+		if rng.Intn(2) == 0 {
+			data := make([]byte, bs)
+			rng.Read(data)
+			if err := o.Write(b, data); err != nil {
+				t.Fatal(err)
+			}
+			ref[b] = data
+		} else {
+			got, err := o.Read(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ref[b]
+			if want == nil {
+				want = make([]byte, bs)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("op %d: block %d mismatch", op, b)
+			}
+		}
+	}
+}
+
+// TestORAMAccessPatternIsPathShaped: every access touches exactly one
+// root-to-leaf path — levels+1 bucket reads and the same bucket writes —
+// regardless of which logical block is requested. This is Path ORAM's
+// obliviousness invariant at the structural level.
+func TestORAMAccessPatternIsPathShaped(t *testing.T) {
+	const blocks, bs = 32, 64
+	o, rec := newORAM(t, blocks, bs)
+	want := o.levels + 1
+	for i := 0; i < 200; i++ {
+		rec.reset()
+		if _, err := o.Read(i % blocks); err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.reads) != want || len(rec.writes) != want {
+			t.Fatalf("access %d: %d reads / %d writes, want %d each",
+				i, len(rec.reads), len(rec.writes), want)
+		}
+		// The same buckets are read and written (in reverse order), and
+		// they form a valid path: each bucket is the heap parent chain.
+		for j := range rec.reads {
+			if rec.reads[j] != rec.writes[len(rec.writes)-1-j] {
+				t.Fatalf("access %d: read/write bucket sets differ", i)
+			}
+		}
+	}
+}
+
+// TestORAMAddressDistributionUniform: repeated accesses to the SAME block
+// touch leaves spread across the tree (the remap hides temporal locality).
+func TestORAMAddressDistributionUniform(t *testing.T) {
+	const blocks, bs = 64, 64
+	o, rec := newORAM(t, blocks, bs)
+	leafCount := map[uint64]int{}
+	const trials = 600
+	for i := 0; i < trials; i++ {
+		rec.reset()
+		if _, err := o.Read(5); err != nil { // always the same block
+			t.Fatal(err)
+		}
+		leafBucket := rec.reads[len(rec.reads)-1]
+		leafCount[leafBucket]++
+	}
+	leaves := 1 << o.levels
+	if len(leafCount) < leaves/2 {
+		t.Fatalf("only %d of %d leaves touched across %d same-block accesses", len(leafCount), leaves, trials)
+	}
+	for leaf, n := range leafCount {
+		if n > trials/4 {
+			t.Fatalf("leaf %#x hit %d/%d times: distribution far from uniform", leaf, n, trials)
+		}
+	}
+}
+
+// TestORAMStashBounded: the stash high-water mark stays small across a
+// long random workload (Path ORAM's key empirical property with Z=4).
+func TestORAMStashBounded(t *testing.T) {
+	const blocks, bs = 256, 32
+	o, _ := newORAM(t, blocks, bs)
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, bs)
+	for op := 0; op < 5000; op++ {
+		b := rng.Intn(blocks)
+		if rng.Intn(2) == 0 {
+			o.Write(b, data)
+		} else {
+			o.Read(b)
+		}
+	}
+	_, _, maxStash := o.Stats()
+	if maxStash > 60 {
+		t.Fatalf("stash high-water mark %d too large for Z=4", maxStash)
+	}
+}
+
+func TestORAMAmplification(t *testing.T) {
+	const blocks, bs = 64, 64
+	o, _ := newORAM(t, blocks, bs)
+	for i := 0; i < 100; i++ {
+		o.Read(i % blocks)
+	}
+	amp := o.Amplification()
+	// 2 * (levels+1) buckets * Z slots of (header+block): tens of x.
+	expected := float64(2 * (o.levels + 1) * BucketSlots * (slotHeaderBytes + bs) / bs)
+	if amp < expected*0.9 || amp > expected*1.1 {
+		t.Fatalf("amplification %.1fx, want ≈%.1fx", amp, expected)
+	}
+}
+
+func TestORAMParameterValidation(t *testing.T) {
+	dram := mem.NewDRAM(1<<20, perf.Default())
+	if _, err := New(dram, 0, 1, 64, 1); err == nil {
+		t.Fatal("single-block ORAM accepted")
+	}
+	if _, err := New(dram, 0, 8, 60, 1); err == nil {
+		t.Fatal("unaligned block size accepted")
+	}
+	o, err := New(dram, 0, 8, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Read(-1); err == nil {
+		t.Fatal("negative block read accepted")
+	}
+	if _, err := o.Read(8); err == nil {
+		t.Fatal("out-of-range block read accepted")
+	}
+	if err := o.Write(0, make([]byte, 32)); err == nil {
+		t.Fatal("short write accepted")
+	}
+}
+
+// TestORAMOverShield stacks ORAM on a provisioned Shield region: contents
+// are encrypted+authenticated by the Shield, addresses hidden by ORAM —
+// the full §5.2.2 composition.
+func TestORAMOverShield(t *testing.T) {
+	const blocks, bs = 32, 64
+	foot := FootprintBytes(blocks, bs)
+	regionSize := (foot + 511) / 512 * 512
+	cfg := shield.Config{Regions: []shield.RegionConfig{{
+		Name: "oram", Base: 0, Size: regionSize, ChunkSize: 512,
+		AESEngines: 2, SBox: aesx.SBox16x, KeySize: aesx.AES128,
+		MAC: shield.HMAC, BufferBytes: 4096, Freshness: true,
+	}}}
+	dram := mem.NewDRAM(regionSize*2+1<<16, perf.Default())
+	ocm := mem.NewOCM(1 << 30)
+	priv, _ := schnorr.GenerateKey(modp.TestGroup, nil)
+	sh, err := shield.New(cfg, priv, dram, ocm, perf.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dek := bytes.Repeat([]byte{6}, 32)
+	lk, _ := keywrap.Wrap(sh.PublicKey(), dek, nil)
+	if err := sh.ProvisionLoadKey(lk); err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(sh, 0, blocks, bs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := bytes.Repeat([]byte("ORAM+SHIELD!"), bs/12+1)[:bs]
+	if err := o.Write(3, secret); err != nil {
+		t.Fatal(err)
+	}
+	got, err := o.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("round trip through ORAM-over-Shield failed")
+	}
+	// Contents are invisible off-chip even though ORAM wrote them.
+	sh.Flush()
+	dump, _ := dram.RawRead(0, int(regionSize))
+	if bytes.Contains(dump, []byte("ORAM+SHIELD!")) {
+		t.Fatal("plaintext leaked beneath the ORAM layer")
+	}
+}

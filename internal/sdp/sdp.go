@@ -1,0 +1,326 @@
+// Package sdp implements the paper's end-to-end case study (§6.2.3):
+// SDP-style GDPR-compliant storage built from smart Storage Nodes (SNs)
+// with FPGA TEEs and a centralised Controller Node (CN).
+//
+// Each Storage Node is a key-value store engine over the Shield. Two
+// identical engine sets secure its traffic — one facing the storage
+// device, one facing the application's TLS session — so every file byte
+// crosses the Shield twice: decrypted from storage, re-encrypted for the
+// application. The Controller Node attests each SN before provisioning
+// the user-key database into it.
+package sdp
+
+import (
+	"errors"
+	"fmt"
+
+	"shef/internal/crypto/aesx"
+	"shef/internal/crypto/kdf"
+	"shef/internal/crypto/keywrap"
+	"shef/internal/crypto/modp"
+	"shef/internal/crypto/schnorr"
+	"shef/internal/mem"
+	"shef/internal/perf"
+	"shef/internal/shield"
+)
+
+// NodeConfig sizes a Storage Node and selects its Shield engine
+// configuration — the dimension swept by the paper's Table 2.
+type NodeConfig struct {
+	// Slots is the number of fixed-size file slots.
+	Slots int
+	// SlotBytes is the file slot size (1 MB in the paper's measurement).
+	SlotBytes int
+	// AuthBlock is the authentication block size (4 KB in the paper).
+	AuthBlock int
+	// Engines is the AES engine count per engine set.
+	Engines int
+	// SBox is the per-engine S-box parallelism.
+	SBox aesx.SBoxParallelism
+	// MAC selects HMAC or PMAC engines.
+	MAC shield.MACKind
+	// BufferBytes is the per-set buffer (16 KB in the paper).
+	BufferBytes int
+}
+
+// Table2Configs are the five Shield configurations of the paper's Table 2,
+// in order: (engines, S-box, MAC) = (4,4x,HMAC), (4,16x,HMAC),
+// (4,16x,PMAC), (8,16x,PMAC), (16,16x,PMAC).
+func Table2Configs() []NodeConfig {
+	base := NodeConfig{Slots: 4, SlotBytes: 1 << 20, AuthBlock: 4096, BufferBytes: 16 << 10}
+	mk := func(eng int, sbox aesx.SBoxParallelism, mac shield.MACKind) NodeConfig {
+		c := base
+		c.Engines, c.SBox, c.MAC = eng, sbox, mac
+		return c
+	}
+	return []NodeConfig{
+		mk(4, aesx.SBox4x, shield.HMAC),
+		mk(4, aesx.SBox16x, shield.HMAC),
+		mk(4, aesx.SBox16x, shield.PMAC),
+		mk(8, aesx.SBox16x, shield.PMAC),
+		mk(16, aesx.SBox16x, shield.PMAC),
+	}
+}
+
+// LineRateParams models the Storage Node's data fabric: a line-rate
+// storage/network interface (≈1 GB/s at the 250 MHz Shield clock) rather
+// than the F1 DRAM channel.
+func LineRateParams() perf.Params {
+	p := perf.Default()
+	p.DRAMBytesPerCycle = 4
+	return p
+}
+
+// Region layout of the node's device memory.
+const (
+	storeBase = 0x0000_0000
+	tlsBase   = 0x4000_0000
+)
+
+// Node is one SDP Storage Node: a KV engine over a Shield. File metadata
+// (directory, sizes) lives in node-internal (on-chip) state; file contents
+// live encrypted in the store region; application traffic stages through
+// the tls region.
+type Node struct {
+	cfg    NodeConfig
+	sh     *shield.Shield
+	dram   *mem.DRAM
+	params perf.Params
+	dek    []byte
+
+	userKeys  map[string][]byte
+	directory map[string]fileEntry
+	nextSlot  int
+}
+
+type fileEntry struct {
+	slot int
+	size int
+	user string
+}
+
+func (c NodeConfig) storeSize() uint64 { return uint64(c.Slots * c.SlotBytes) }
+func (c NodeConfig) tlsSize() uint64   { return uint64(c.SlotBytes) }
+
+// ShieldConfig builds the two identical engine sets of §6.2.3.
+func (c NodeConfig) ShieldConfig() shield.Config {
+	mk := func(name string, base uint64, size uint64) shield.RegionConfig {
+		return shield.RegionConfig{
+			Name: name, Base: base, Size: size, ChunkSize: c.AuthBlock,
+			AESEngines: c.Engines, SBox: c.SBox, KeySize: aesx.AES128,
+			MAC: c.MAC, BufferBytes: c.BufferBytes,
+		}
+	}
+	store := mk("store", storeBase, c.storeSize())
+	// Files are overwritten in place, so the store region carries replay
+	// counters: a cloud operator must not be able to roll a record back
+	// to a pre-erasure version (the GDPR deletion guarantee).
+	store.Freshness = true
+	tls := mk("tls", tlsBase, c.tlsSize())
+	tls.Channel = 1 // the TLS/network port is a separate physical interface
+	return shield.Config{
+		Regions:   []shield.RegionConfig{store, tls},
+		Registers: 16,
+	}
+}
+
+// NewNode boots a Storage Node: Shield construction plus Load Key
+// provisioning with the session DEK (which the CN established during
+// attestation).
+func NewNode(cfg NodeConfig, dek []byte, params perf.Params) (*Node, error) {
+	if cfg.Slots <= 0 || cfg.SlotBytes <= 0 {
+		return nil, errors.New("sdp: node needs at least one slot")
+	}
+	if cfg.SlotBytes%cfg.AuthBlock != 0 {
+		return nil, errors.New("sdp: slot size must be a multiple of the auth block")
+	}
+	scfg := cfg.ShieldConfig()
+	if err := scfg.Validate(); err != nil {
+		return nil, err
+	}
+	var tagBytes uint64
+	for _, r := range scfg.Regions {
+		tagBytes += uint64(r.Chunks() * shield.TagSize)
+	}
+	dram := mem.NewDRAM(uint64(tlsBase)+cfg.tlsSize()+tagBytes+1<<20, params)
+	ocm := mem.NewOCM(1 << 32)
+	// The attestation group is kept small for simulation speed; a real
+	// deployment would use modp.Group14.
+	priv, err := schnorr.GenerateKey(modp.TestGroup, nil)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := shield.New(scfg, priv, dram, ocm, params)
+	if err != nil {
+		return nil, err
+	}
+	lk, err := keywrap.Wrap(sh.PublicKey(), dek, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := sh.ProvisionLoadKey(lk); err != nil {
+		return nil, err
+	}
+	return &Node{
+		cfg:       cfg,
+		sh:        sh,
+		dram:      dram,
+		params:    params,
+		dek:       append([]byte(nil), dek...),
+		userKeys:  make(map[string][]byte),
+		directory: make(map[string]fileEntry),
+	}, nil
+}
+
+// ProvisionUserKeys installs the CN's user-key database (paper: "The CN
+// securely provisions a database of user keys into the TEE").
+func (n *Node) ProvisionUserKeys(keys map[string][]byte) {
+	for u, k := range keys {
+		n.userKeys[u] = append([]byte(nil), k...)
+	}
+}
+
+// tlsRegion returns the tls region config and layout.
+func (n *Node) tlsRegion() (shield.RegionConfig, shield.RegionLayout) {
+	cfg := n.cfg.ShieldConfig().Regions[1]
+	layout, _ := n.sh.Layout("tls")
+	return cfg, layout
+}
+
+// stageTLSIn is the application→node half of a TLS session: the
+// application's endpoint seals the payload into the tls region image and
+// the untrusted host DMAs it into device memory.
+func (n *Node) stageTLSIn(payload []byte) error {
+	cfg, layout := n.tlsRegion()
+	image := make([]byte, cfg.Size)
+	copy(image, payload)
+	ct, tags, err := shield.SealRegionData(cfg, layout.RegionID, n.dek, image)
+	if err != nil {
+		return err
+	}
+	// Drop stale staging state before the DMA lands.
+	if err := n.sh.Flush(); err != nil {
+		return err
+	}
+	n.sh.InvalidateClean()
+	if err := n.dram.RawWrite(layout.DataBase, ct); err != nil {
+		return err
+	}
+	if err := n.dram.RawWrite(layout.TagBase, tags); err != nil {
+		return err
+	}
+	return n.sh.MarkPreloaded("tls")
+}
+
+// stageTLSOut is the node→application half: the host DMAs the tls region
+// ciphertext out and the application endpoint opens it.
+func (n *Node) stageTLSOut(size int) ([]byte, error) {
+	cfg, layout := n.tlsRegion()
+	if err := n.sh.Flush(); err != nil {
+		return nil, err
+	}
+	ct, err := n.dram.RawRead(layout.DataBase, int(layout.DataSize))
+	if err != nil {
+		return nil, err
+	}
+	tags, err := n.dram.RawRead(layout.TagBase, int(layout.TagSize))
+	if err != nil {
+		return nil, err
+	}
+	img, err := shield.OpenRegionData(cfg, layout.RegionID, n.dek, ct, tags, nil)
+	if err != nil {
+		return nil, err
+	}
+	return img[:size], nil
+}
+
+// Put stores a file for a user: application → tls engine set → user-key
+// layer → store engine set.
+func (n *Node) Put(user, name string, payload []byte) error {
+	if _, ok := n.userKeys[user]; !ok {
+		return fmt.Errorf("sdp: user %q has no provisioned key", user)
+	}
+	if len(payload) > n.cfg.SlotBytes {
+		return fmt.Errorf("sdp: file of %d bytes exceeds slot size %d", len(payload), n.cfg.SlotBytes)
+	}
+	entry, ok := n.directory[name]
+	if !ok {
+		if n.nextSlot >= n.cfg.Slots {
+			return errors.New("sdp: node full")
+		}
+		entry = fileEntry{slot: n.nextSlot}
+		n.nextSlot++
+	}
+	entry.size = len(payload)
+	entry.user = user
+	if err := n.stageTLSIn(payload); err != nil {
+		return err
+	}
+	// Node logic: pull through the tls engine set (decrypt), apply the
+	// per-user GDPR layer, push through the store engine set (encrypt).
+	buf := make([]byte, alignUp(len(payload), n.cfg.AuthBlock))
+	if _, err := n.sh.ReadBurst(tlsBase, buf); err != nil {
+		return err
+	}
+	n.sealForUser(user, name, buf[:len(payload)])
+	addr := uint64(storeBase + entry.slot*n.cfg.SlotBytes)
+	if _, err := n.sh.WriteBurst(addr, buf); err != nil {
+		return err
+	}
+	n.directory[name] = entry
+	return n.sh.Flush()
+}
+
+// Get retrieves a file for a user and returns the plaintext as the
+// application's TLS endpoint would see it.
+func (n *Node) Get(user, name string) ([]byte, error) {
+	if _, ok := n.userKeys[user]; !ok {
+		return nil, fmt.Errorf("sdp: user %q has no provisioned key", user)
+	}
+	entry, ok := n.directory[name]
+	if !ok {
+		return nil, fmt.Errorf("sdp: file %q not found", name)
+	}
+	if entry.user != user {
+		return nil, fmt.Errorf("sdp: user %q may not access %q (GDPR policy)", user, name)
+	}
+	addr := uint64(storeBase + entry.slot*n.cfg.SlotBytes)
+	buf := make([]byte, alignUp(entry.size, n.cfg.AuthBlock))
+	if _, err := n.sh.ReadBurst(addr, buf); err != nil {
+		return nil, err
+	}
+	n.sealForUser(user, name, buf[:entry.size]) // CTR layer is an involution
+	if _, err := n.sh.WriteBurst(tlsBase, buf); err != nil {
+		return nil, err
+	}
+	return n.stageTLSOut(entry.size)
+}
+
+// sealForUser applies the per-user GDPR encryption layer in place: an
+// AES-CTR pass under the user's key with a per-file IV. CTR is an
+// involution, so the same call encrypts and decrypts.
+func (n *Node) sealForUser(user, name string, data []byte) {
+	key := kdf.Derive([]byte("sdp/user-file"), n.userKeys[user], []byte(name), 16)
+	cipher, err := aesx.NewCipher(key)
+	if err != nil {
+		panic("sdp: derived key invalid: " + err.Error())
+	}
+	var iv [aesx.IVSize]byte
+	h := kdf.Derive([]byte("sdp/file-iv"), []byte(name), nil, aesx.IVSize)
+	copy(iv[:], h)
+	aesx.CTR(cipher, iv, data, data)
+}
+
+// Report exposes the Shield's cycle accounting.
+func (n *Node) Report() shield.Report { return n.sh.Report() }
+
+// ResetStats clears the measurement window.
+func (n *Node) ResetStats() { n.sh.ResetStats() }
+
+// Shield exposes the underlying shield (controller provisioning, tests).
+func (n *Node) Shield() *shield.Shield { return n.sh }
+
+// DRAM exposes the device memory for adversarial tests.
+func (n *Node) DRAM() *mem.DRAM { return n.dram }
+
+func alignUp(n, a int) int { return (n + a - 1) / a * a }

@@ -1,0 +1,115 @@
+// Package shell models the CSP's Shell: the persistent, untrusted static
+// logic that owns all of the FPGA's I/O (paper §2.3). The Shell is the
+// operating system of the fabric — and, in ShEF's threat model, an
+// adversary: it can observe, corrupt, and replay every transaction that
+// crosses it (paper §2.5: "the adversary is able to control privileged
+// FPGA logic, such as the AWS F1 Shell").
+//
+// The Shield attaches to the Shell's memory port; the host program drives
+// the Shell's DMA engine. Adversarial behaviour is injected with Interpose.
+package shell
+
+import (
+	"sync"
+
+	"shef/internal/axi"
+	"shef/internal/fpga"
+)
+
+// Shell is the static-region logic instance bound to one device.
+type Shell struct {
+	Name string
+	dev  *fpga.Device
+
+	mu       sync.Mutex
+	tamperer Tamperer
+	snooped  uint64 // bytes observed crossing the Shell
+}
+
+// Tamperer mutates traffic in flight. data is the transaction payload
+// (post-read or pre-write); the function may modify it in place.
+type Tamperer func(addr uint64, data []byte, isWrite bool)
+
+// New loads a Shell onto the device's static region.
+func New(name string, dev *fpga.Device) (*Shell, error) {
+	if err := dev.LoadStatic(name); err != nil {
+		return nil, err
+	}
+	return &Shell{Name: name, dev: dev}, nil
+}
+
+// Device returns the underlying FPGA.
+func (s *Shell) Device() *fpga.Device { return s.dev }
+
+// Interpose installs (or clears, with nil) an adversarial traffic mutator.
+func (s *Shell) Interpose(t Tamperer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tamperer = t
+}
+
+// SnoopedBytes reports how much traffic the Shell has observed — all of
+// it, which is exactly why the Shield must encrypt everything.
+func (s *Shell) SnoopedBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snooped
+}
+
+// MemPort returns the AXI4 memory interface the Shell exposes to the user
+// partial region (where the Shield attaches). All traffic through it is
+// visible to, and corruptible by, the Shell.
+func (s *Shell) MemPort() axi.MemoryPort { return &shellPort{s} }
+
+type shellPort struct{ s *Shell }
+
+func (p *shellPort) ReadBurst(addr uint64, buf []byte) (uint64, error) {
+	cycles, err := p.s.dev.DRAM.ReadBurst(addr, buf)
+	if err != nil {
+		return cycles, err
+	}
+	p.s.mu.Lock()
+	p.s.snooped += uint64(len(buf))
+	t := p.s.tamperer
+	p.s.mu.Unlock()
+	if t != nil {
+		t(addr, buf, false)
+	}
+	return cycles, nil
+}
+
+func (p *shellPort) WriteBurst(addr uint64, data []byte) (uint64, error) {
+	p.s.mu.Lock()
+	p.s.snooped += uint64(len(data))
+	t := p.s.tamperer
+	p.s.mu.Unlock()
+	if t != nil {
+		// The Shell sees (and may corrupt) the data before it reaches DRAM.
+		tampered := append([]byte(nil), data...)
+		t(addr, tampered, true)
+		data = tampered
+	}
+	return p.s.dev.DRAM.WriteBurst(addr, data)
+}
+
+// DMAWrite is the host-program data path into device memory (encrypted
+// payloads only — the host never holds plaintext in ShEF).
+func (s *Shell) DMAWrite(addr uint64, data []byte) error {
+	_, err := s.dev.DRAM.WriteBurst(addr, data)
+	s.mu.Lock()
+	s.snooped += uint64(len(data))
+	s.mu.Unlock()
+	return err
+}
+
+// DMARead is the host-program data path out of device memory.
+func (s *Shell) DMARead(addr uint64, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if _, err := s.dev.DRAM.ReadBurst(addr, buf); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.snooped += uint64(n)
+	s.mu.Unlock()
+	return buf, nil
+}

@@ -1,0 +1,109 @@
+package shield
+
+import (
+	"fmt"
+
+	"shef/internal/fpga"
+)
+
+// Component resource costs, transcribed from the paper's Table 1 ("Shield
+// component utilization on AWS F1"). The three base modules exclude crypto
+// engines and on-chip memory; engines and buffers are added per
+// configuration.
+var (
+	// ControllerArea: one per Shield.
+	ControllerArea = fpga.Resources{LUT: 2348, REG: 547}
+	// EngineSetArea: per engine set, excluding engines and buffers.
+	EngineSetArea = fpga.Resources{BRAM: 2, LUT: 1068, REG: 2508}
+	// RegInterfaceArea: one per Shield (the secured AXI4-Lite path).
+	RegInterfaceArea = fpga.Resources{LUT: 3251, REG: 1902}
+	// AES4xArea and AES16xArea: per AES engine at the evaluated S-box
+	// duplication factors.
+	AES4xArea  = fpga.Resources{LUT: 2435, REG: 2347}
+	AES16xArea = fpga.Resources{LUT: 2898, REG: 2347}
+	// HMACArea: the serial SHA-256 HMAC engine.
+	HMACArea = fpga.Resources{LUT: 3926, REG: 2636}
+	// PMACArea: per PMAC engine.
+	PMACArea = fpga.Resources{LUT: 2545, REG: 2570}
+)
+
+// bramBytes is the capacity of one BRAM36 tile (36 Kbit with parity; 32
+// Kbit usable data = 4 KiB).
+const bramBytes = 4096
+
+// aesEngineArea interpolates engine area across S-box duplication factors.
+// The paper reports the 4x and 16x points; other factors scale the S-box
+// LUT cost linearly between them (the S-box table is the only part that
+// duplicates).
+func aesEngineArea(sbox int) fpga.Resources {
+	switch {
+	case sbox <= 4:
+		// Below 4x the S-box share shrinks proportionally from the 4x point.
+		perCopy := (AES16xArea.LUT - AES4xArea.LUT) / 12 // LUTs per extra S-box copy
+		lut := AES4xArea.LUT - perCopy*uint64(4-sbox)
+		return fpga.Resources{LUT: lut, REG: AES4xArea.REG}
+	case sbox >= 16:
+		return AES16xArea
+	default:
+		perCopy := (AES16xArea.LUT - AES4xArea.LUT) / 12
+		lut := AES4xArea.LUT + perCopy*uint64(sbox-4)
+		return fpga.Resources{LUT: lut, REG: AES4xArea.REG}
+	}
+}
+
+// Area computes the Shield's inclusive resource utilisation for a
+// configuration: controller + register interface (with its own AES and
+// HMAC engine) + per-region engine sets with their engines, buffers, and
+// counters. This regenerates the composition behind the paper's Tables 1
+// and 3.
+func Area(cfg Config) fpga.Resources {
+	total := ControllerArea
+	// Register interface ships with one AES and one HMAC engine to seal
+	// AXI4-Lite traffic (paper §6.2.4, Bitcoin: "simply leveraging the
+	// register interface, with one AES and one HMAC engine").
+	total = total.Add(RegInterfaceArea).Add(AES4xArea).Add(HMACArea)
+	for _, r := range cfg.Regions {
+		set := EngineSetArea
+		set = set.Add(aesEngineArea(int(r.SBox)).Scale(r.AESEngines))
+		if r.MAC == PMAC {
+			// The PMAC datapath pairs with each AES engine in the pool.
+			set = set.Add(PMACArea.Scale(r.AESEngines))
+		} else {
+			set = set.Add(HMACArea)
+		}
+		// On-chip memory: buffer lines plus freshness counters, in BRAM36
+		// tiles.
+		ocmBytes := r.bufferLines() * r.ChunkSize
+		if r.Freshness {
+			ocmBytes += r.Chunks() * CounterSize
+		}
+		set = set.Add(fpga.Resources{BRAM: uint64((ocmBytes + bramBytes - 1) / bramBytes)})
+		total = total.Add(set)
+	}
+	return total
+}
+
+// Utilization expresses res as percentages of a device budget, matching
+// the way the paper reports Table 1 and Table 3.
+type Utilization struct {
+	BRAM, LUT, REG float64
+}
+
+// UtilizationOn computes percentage utilisation of res on model.
+func UtilizationOn(res fpga.Resources, model fpga.Model) Utilization {
+	pct := func(used, avail uint64) float64 {
+		if avail == 0 {
+			return 0
+		}
+		return 100 * float64(used) / float64(avail)
+	}
+	return Utilization{
+		BRAM: pct(res.BRAM, model.Budget.BRAM),
+		LUT:  pct(res.LUT, model.Budget.LUT),
+		REG:  pct(res.REG, model.Budget.REG),
+	}
+}
+
+func (u Utilization) String() string {
+	return fmt.Sprintf("BRAM %.2f%% / LUT %.2f%% / REG %.2f%%", u.BRAM, u.LUT, u.REG)
+}

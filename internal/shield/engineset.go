@@ -1,0 +1,318 @@
+package shield
+
+import (
+	"fmt"
+
+	"shef/internal/axi"
+	"shef/internal/crypto/aesx"
+	"shef/internal/crypto/sha256x"
+	"shef/internal/mem"
+	"shef/internal/perf"
+)
+
+// engineSet is the runtime of one configured memory region: the AES engine
+// pool, the MAC engine, the on-chip buffer, and (optionally) the freshness
+// counters. It is the unit of parallelism in the Shield: engine sets
+// operate concurrently, and the performance model takes the maximum busy
+// time across sets (paper §5.2.2).
+type engineSet struct {
+	cfg      RegionConfig
+	regionID uint32
+	params   perf.Params
+	seal     *sealer
+
+	// dramShare is the number of engine sets contending for this set's
+	// off-chip channel; each sees 1/share of the channel bandwidth.
+	dramShare int
+
+	// DRAM layout: ciphertext is identity-mapped at cfg.Base; tags live in
+	// a reserved area starting at tagBase.
+	tagBase uint64
+	port    axi.MemoryPort
+
+	// On-chip state (allocated from the device OCM budget).
+	lines    map[int]*bufLine // chunk index -> resident line
+	lruTick  uint64
+	capacity int
+
+	// counters hold the per-chunk write counters when Freshness is on
+	// (folded into IV and MAC; see sealer).
+	counters []uint32
+
+	// initialized marks chunks that carry valid ciphertext: written back
+	// at least once, or preloaded by the host (MarkPreloaded). Reads of
+	// never-written chunks return zeros without touching DRAM: the valid
+	// bit lives on-chip, so an adversary cannot plant data in virgin
+	// memory.
+	initialized []bool
+
+	// Performance accounting.
+	busyCycles                          uint64 // accumulated engine-set busy time (chunk pipeline)
+	dramCycles                          uint64 // this set's share of DRAM bus time
+	hits, misses, evictions, writebacks uint64
+
+	// integrityErr latches the first authentication failure; the Shield
+	// refuses further service afterwards, modelling the hardware fault
+	// latch that parks the accelerator.
+	integrityErr error
+}
+
+// bufLine is one cache line of decrypted, authenticated plaintext.
+type bufLine struct {
+	data  []byte
+	dirty bool
+	tick  uint64
+}
+
+// newEngineSet builds the runtime for a region. Keys are derived from the
+// Data Encryption Key per region so that regions are cryptographically
+// isolated from one another.
+func newEngineSet(cfg RegionConfig, regionID uint32, dek []byte, tagBase uint64,
+	port axi.MemoryPort, ocm *mem.OCM, params perf.Params) (*engineSet, error) {
+
+	seal, err := newSealer(cfg, regionID, dek)
+	if err != nil {
+		return nil, err
+	}
+	s := &engineSet{
+		cfg:      cfg,
+		regionID: regionID,
+		params:   params,
+		seal:     seal,
+		tagBase:  tagBase,
+		port:     port,
+		lines:    make(map[int]*bufLine),
+		capacity: cfg.bufferLines(),
+	}
+	// Charge on-chip memory: the buffer, counters, and valid bits.
+	if _, err := ocm.Alloc(s.capacity * cfg.ChunkSize); err != nil {
+		return nil, fmt.Errorf("shield: region %q buffer: %w", cfg.Name, err)
+	}
+	if cfg.Freshness {
+		if _, err := ocm.Alloc(cfg.Chunks() * CounterSize); err != nil {
+			return nil, fmt.Errorf("shield: region %q counters: %w", cfg.Name, err)
+		}
+	}
+	if _, err := ocm.Alloc((cfg.Chunks() + 7) / 8); err != nil {
+		return nil, fmt.Errorf("shield: region %q valid bits: %w", cfg.Name, err)
+	}
+	s.counters = make([]uint32, cfg.Chunks())
+	s.initialized = make([]bool, cfg.Chunks())
+	return s, nil
+}
+
+// cryptoCycles is the engine-set crypto time for one chunk transfer. The
+// AES pool serves the CTR blocks plus, under PMAC, the MAC blocks; an HMAC
+// engine runs serially in parallel with decryption ("the engine set
+// decrypts and authenticates the returned ciphertext in parallel",
+// paper §5.2.2).
+func (s *engineSet) cryptoCycles() uint64 {
+	ctrBlocks := (s.cfg.ChunkSize + aesx.BlockSize - 1) / aesx.BlockSize
+	aesBlocks := ctrBlocks
+	if s.cfg.MAC == PMAC {
+		aesBlocks += ctrBlocks + 1 // PMAC block per data block + tag block
+	}
+	waves := uint64((aesBlocks + s.cfg.AESEngines - 1) / s.cfg.AESEngines)
+	aesCycles := waves * s.seal.engine.CyclesPerBlock()
+	if s.cfg.MAC == PMAC {
+		return aesCycles
+	}
+	// HMAC: ipad block + message blocks + outer pass, one serial core.
+	hmacCycles := uint64(3+(s.cfg.ChunkSize+sha256x.BlockSize-1)/sha256x.BlockSize) * hmacEngineCyclesPerBlock
+	if hmacCycles > aesCycles {
+		return hmacCycles
+	}
+	return aesCycles
+}
+
+// hmacEngineCyclesPerBlock is the Shield HMAC core's cost per 64-byte SHA
+// block. The core is modestly unrolled (≈1.2 B/cycle) but strictly serial
+// within a stream — which is why SDP saturates on it until PMAC replaces
+// it (paper §6.2.3). Calibrated jointly with perf.Default (DESIGN.md §4).
+const hmacEngineCyclesPerBlock = 54
+
+// chargeChunk accounts one chunk movement (fetch or write-back): the DRAM
+// burst for data plus its tag (fetched in the same request window) and the
+// crypto stage, partially overlapped.
+func (s *engineSet) chargeChunk() {
+	// The set experiences its bandwidth share; the channel-occupancy bound
+	// (Report.MemoryCycles) counts the bytes once at full channel rate.
+	dram := s.params.DRAMCyclesShared(s.cfg.ChunkSize+TagSize, s.dramShare)
+	crypto := s.cryptoCycles()
+	s.busyCycles += s.params.ChunkTime(dram, crypto) + s.params.ChunkIssueCycles
+	s.dramCycles += s.params.DRAMCycles(s.cfg.ChunkSize + TagSize)
+}
+
+// chargeHit accounts a buffer hit: on-chip access only.
+func (s *engineSet) chargeHit(nBytes int) {
+	s.busyCycles += 1 + uint64(nBytes)/64
+}
+
+// dramAddrs returns the ciphertext and tag addresses of a chunk.
+func (s *engineSet) dramAddrs(chunk int) (data, tag uint64) {
+	data = s.cfg.Base + uint64(chunk*s.cfg.ChunkSize)
+	tag = s.tagBase + uint64(chunk*TagSize)
+	return
+}
+
+// load makes a chunk resident, fetching/decrypting/verifying on miss.
+// fill == false skips the DRAM fetch (full-chunk overwrite).
+func (s *engineSet) load(chunk int, fill bool) (*bufLine, error) {
+	if s.integrityErr != nil {
+		return nil, s.integrityErr
+	}
+	if ln, ok := s.lines[chunk]; ok {
+		s.lruTick++
+		ln.tick = s.lruTick
+		return ln, nil
+	}
+	if err := s.evictIfFull(); err != nil {
+		return nil, err
+	}
+	ln := &bufLine{data: make([]byte, s.cfg.ChunkSize)}
+	if fill && !s.initialized[chunk] {
+		fill = false // virgin chunk: serve zeros from on-chip valid bits
+	}
+	if fill {
+		dataAddr, tagAddr := s.dramAddrs(chunk)
+		ct := make([]byte, s.cfg.ChunkSize)
+		if _, err := s.port.ReadBurst(dataAddr, ct); err != nil {
+			return nil, err
+		}
+		tagBuf := make([]byte, TagSize)
+		if _, err := s.port.ReadBurst(tagAddr, tagBuf); err != nil {
+			return nil, err
+		}
+		var tag [TagSize]byte
+		copy(tag[:], tagBuf)
+		plain, err := s.seal.openChunk(chunk, s.counters[chunk], ct, tag)
+		if err != nil {
+			s.integrityErr = err
+			return nil, err
+		}
+		ln.data = plain
+		s.chargeChunk()
+		s.misses++
+	} else {
+		// Zero-filled line: no DRAM traffic, only issue cost.
+		s.busyCycles += s.params.ChunkIssueCycles
+		s.misses++
+	}
+	s.lruTick++
+	ln.tick = s.lruTick
+	s.lines[chunk] = ln
+	return ln, nil
+}
+
+// evictIfFull writes back the least recently used line when at capacity.
+func (s *engineSet) evictIfFull() error {
+	if len(s.lines) < s.capacity {
+		return nil
+	}
+	victim, oldest := -1, uint64(1<<63)
+	for idx, ln := range s.lines {
+		if ln.tick < oldest {
+			victim, oldest = idx, ln.tick
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	if err := s.writeback(victim); err != nil {
+		return err
+	}
+	delete(s.lines, victim)
+	s.evictions++
+	return nil
+}
+
+// writeback encrypts and MACs a dirty line and stores ciphertext + tag.
+func (s *engineSet) writeback(chunk int) error {
+	ln := s.lines[chunk]
+	if ln == nil || !ln.dirty {
+		return nil
+	}
+	if s.cfg.Freshness {
+		s.counters[chunk]++ // bump before sealing the new epoch
+	}
+	ct, tag := s.seal.sealChunk(chunk, s.counters[chunk], ln.data)
+	dataAddr, tagAddr := s.dramAddrs(chunk)
+	if _, err := s.port.WriteBurst(dataAddr, ct); err != nil {
+		return err
+	}
+	if _, err := s.port.WriteBurst(tagAddr, tag[:]); err != nil {
+		return err
+	}
+	s.chargeChunk()
+	s.writebacks++
+	s.initialized[chunk] = true
+	ln.dirty = false
+	return nil
+}
+
+// read copies region bytes [addr, addr+len(buf)) into buf.
+func (s *engineSet) read(addr uint64, buf []byte) error {
+	off := addr - s.cfg.Base
+	for done := 0; done < len(buf); {
+		chunk := int((off + uint64(done)) / uint64(s.cfg.ChunkSize))
+		inOff := int((off + uint64(done)) % uint64(s.cfg.ChunkSize))
+		ln, err := s.load(chunk, true)
+		if err != nil {
+			return err
+		}
+		n := copy(buf[done:], ln.data[inOff:])
+		s.chargeHit(n)
+		s.hits++
+		done += n
+	}
+	return nil
+}
+
+// write stores data at addr.
+func (s *engineSet) write(addr uint64, data []byte) error {
+	off := addr - s.cfg.Base
+	for done := 0; done < len(data); {
+		chunk := int((off + uint64(done)) / uint64(s.cfg.ChunkSize))
+		inOff := int((off + uint64(done)) % uint64(s.cfg.ChunkSize))
+		n := s.cfg.ChunkSize - inOff
+		if n > len(data)-done {
+			n = len(data) - done
+		}
+		// Full-chunk overwrites never fetch. Partial writes to virgin
+		// chunks zero-fill via the valid bits inside load, which subsumes
+		// the paper's ZeroFillWrites optimisation while staying correct
+		// for partial rewrites.
+		fullOverwrite := inOff == 0 && n == s.cfg.ChunkSize
+		ln, err := s.load(chunk, !fullOverwrite)
+		if err != nil {
+			return err
+		}
+		copy(ln.data[inOff:], data[done:done+n])
+		ln.dirty = true
+		s.chargeHit(n)
+		s.hits++
+		done += n
+	}
+	return nil
+}
+
+// flush writes back every dirty line (end of kernel / result publication).
+func (s *engineSet) flush() error {
+	for idx := range s.lines {
+		if err := s.writeback(idx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IntegrityError reports a failed MAC verification: spoofed, spliced,
+// replayed, or corrupted off-chip data.
+type IntegrityError struct {
+	Region string
+	Chunk  int
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("shield: integrity violation in region %q chunk %d (off-chip data tampered or replayed)", e.Region, e.Chunk)
+}

@@ -1,0 +1,142 @@
+package shield
+
+import (
+	"testing"
+)
+
+func regRig(t *testing.T, encAddrs bool) *testRig {
+	cfg := simpleConfig()
+	cfg.EncryptRegAddrs = encAddrs
+	return newRig(t, cfg)
+}
+
+func TestRegisterHostWriteAcceleratorRead(t *testing.T) {
+	rig := regRig(t, false)
+	rf := rig.shield.Registers()
+	m := rf.SealWrite(3, 0xDEADBEEF, 1)
+	if err := rf.HostWrite(m); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := rf.ReadReg(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEF {
+		t.Fatalf("register = %#x", v)
+	}
+}
+
+func TestRegisterAcceleratorWriteHostRead(t *testing.T) {
+	rig := regRig(t, false)
+	rf := rig.shield.Registers()
+	rf.WriteReg(5, 42)
+	req := rf.SealReadRequest(5, 7)
+	resp, err := rf.HostRead(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rf.OpenResponse(resp, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("host read %d, want 42", v)
+	}
+}
+
+func TestRegisterReplayRejected(t *testing.T) {
+	rig := regRig(t, false)
+	rf := rig.shield.Registers()
+	m := rf.SealWrite(1, 10, 1)
+	if err := rf.HostWrite(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.HostWrite(m); err == nil {
+		t.Fatal("replayed register write accepted")
+	}
+	// Older sequence numbers are also rejected.
+	m3 := rf.SealWrite(1, 30, 3)
+	if err := rf.HostWrite(m3); err != nil {
+		t.Fatal(err)
+	}
+	m2 := rf.SealWrite(1, 20, 2)
+	if err := rf.HostWrite(m2); err == nil {
+		t.Fatal("stale register write accepted")
+	}
+}
+
+func TestRegisterTamperRejected(t *testing.T) {
+	rig := regRig(t, false)
+	rf := rig.shield.Registers()
+	m := rf.SealWrite(1, 10, 1)
+	m.Payload[0] ^= 1
+	if err := rf.HostWrite(m); err == nil {
+		t.Fatal("tampered payload accepted")
+	}
+	m2 := rf.SealWrite(1, 10, 2)
+	m2.Index = 2 // redirect to another register
+	if err := rf.HostWrite(m2); err == nil {
+		t.Fatal("redirected register write accepted")
+	}
+}
+
+func TestRegisterOutOfRange(t *testing.T) {
+	rig := regRig(t, false)
+	rf := rig.shield.Registers()
+	if err := rf.HostWrite(rf.SealWrite(1000, 1, 1)); err == nil {
+		t.Fatal("out-of-range register write accepted")
+	}
+	if _, _, err := rf.ReadReg(-1); err == nil {
+		t.Fatal("negative register read accepted")
+	}
+	if _, err := rf.WriteReg(99, 0); err != nil {
+		if _, _, err2 := rf.ReadReg(99); err2 == nil {
+			t.Fatal("inconsistent range checks")
+		}
+	}
+}
+
+func TestEncryptedRegisterAddresses(t *testing.T) {
+	rig := regRig(t, true)
+	rf := rig.shield.Registers()
+	m := rf.SealWrite(4, 77, 1)
+	// The wire must not reveal the register index.
+	if m.Index != CommonRegAddr {
+		t.Fatalf("wire index %#x leaks the register number", m.Index)
+	}
+	if err := rf.HostWrite(m); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := rf.ReadReg(4); v != 77 {
+		t.Fatalf("register 4 = %d, want 77", v)
+	}
+}
+
+func TestResponseSeqBinding(t *testing.T) {
+	rig := regRig(t, false)
+	rf := rig.shield.Registers()
+	rf.WriteReg(1, 11)
+	rf.WriteReg(2, 22)
+	r1, err := rf.HostRead(rf.SealReadRequest(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A response for seq 5 must not be accepted for a request with seq 6.
+	if _, err := rf.OpenResponse(r1, 6); err == nil {
+		t.Fatal("response accepted for wrong request sequence")
+	}
+	if v, err := rf.OpenResponse(r1, 5); err != nil || v != 11 {
+		t.Fatalf("valid response rejected: %v %d", err, v)
+	}
+}
+
+func TestRegisterCyclesAccounted(t *testing.T) {
+	rig := regRig(t, false)
+	rf := rig.shield.Registers()
+	rf.HostWrite(rf.SealWrite(0, 1, 1))
+	rf.HostWrite(rf.SealWrite(0, 2, 2))
+	rep := rig.shield.Report()
+	if rep.RegisterCycles != 2*regOpCycles {
+		t.Fatalf("register cycles = %d, want %d", rep.RegisterCycles, 2*regOpCycles)
+	}
+}

@@ -1,0 +1,250 @@
+package shield
+
+import (
+	"errors"
+	"fmt"
+
+	"shef/internal/crypto/aesx"
+	"shef/internal/crypto/hmacx"
+	"shef/internal/crypto/kdf"
+	"shef/internal/crypto/pmacx"
+)
+
+// sealer is the chunk cryptography of one region: key derivation, IVs, and
+// the encrypt-then-MAC chunk format. Both the on-FPGA engine set and the
+// Data Owner's host library use it, which is what lets the Data Owner
+// pre-encrypt inputs into exactly the layout the Shield expects and
+// decrypt results coming back (paper §3 step 11).
+type sealer struct {
+	cfg      RegionConfig
+	regionID uint32
+	engine   *aesx.Engine
+	macKey   []byte
+	pmac     *pmacx.MAC
+}
+
+func newSealer(cfg RegionConfig, regionID uint32, dek []byte) (*sealer, error) {
+	encKey := kdf.Derive([]byte("shef/region-enc"), dek, []byte(cfg.Name), int(cfg.KeySize))
+	macKey := kdf.Derive([]byte("shef/region-mac"), dek, []byte(cfg.Name), 32)
+	eng, err := aesx.NewEngine(encKey, cfg.SBox)
+	if err != nil {
+		return nil, fmt.Errorf("shield: region %q: %w", cfg.Name, err)
+	}
+	s := &sealer{cfg: cfg, regionID: regionID, engine: eng, macKey: macKey}
+	if cfg.MAC == PMAC {
+		pm, err := pmacx.New(macKey[:16])
+		if err != nil {
+			return nil, err
+		}
+		s.pmac = pm
+	}
+	return s, nil
+}
+
+// iv derives the CTR IV for a chunk at a write epoch. Counter zero is the
+// initial (preload) epoch; regions without freshness stay at zero.
+func (s *sealer) iv(chunk int, counter uint32) [aesx.IVSize]byte {
+	version := uint32(0)
+	if s.cfg.Freshness {
+		version = counter
+	}
+	return aesx.ChunkIV(s.regionID, uint32(chunk), version)
+}
+
+// macInput assembles the authenticated message: region || chunk index ||
+// counter (if fresh) || ciphertext. Binding the address defeats splicing;
+// binding the counter defeats replay (paper §5.2.1-5.2.2).
+func (s *sealer) macInput(chunk int, counter uint32, ct []byte) []byte {
+	hdr := make([]byte, 12, 12+len(ct))
+	be32(hdr[0:], s.regionID)
+	be32(hdr[4:], uint32(chunk))
+	if s.cfg.Freshness {
+		be32(hdr[8:], counter)
+	}
+	return append(hdr, ct...)
+}
+
+func be32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+// sealChunk encrypts plaintext and computes its tag for a write epoch.
+func (s *sealer) sealChunk(chunk int, counter uint32, plain []byte) (ct []byte, tag [TagSize]byte) {
+	ct = make([]byte, len(plain))
+	aesx.CTR(s.engine.Cipher(), s.iv(chunk, counter), ct, plain)
+	msg := s.macInput(chunk, counter, ct)
+	if s.cfg.MAC == PMAC {
+		tag = s.pmac.Sum(msg)
+	} else {
+		tag = hmacx.Tag(s.macKey, msg)
+	}
+	return ct, tag
+}
+
+// openChunk verifies and decrypts a chunk at a write epoch.
+func (s *sealer) openChunk(chunk int, counter uint32, ct []byte, tag [TagSize]byte) ([]byte, error) {
+	msg := s.macInput(chunk, counter, ct)
+	ok := false
+	if s.cfg.MAC == PMAC {
+		ok = s.pmac.Verify(msg, tag)
+	} else {
+		ok = hmacx.Verify(s.macKey, msg, tag)
+	}
+	if !ok {
+		return nil, &IntegrityError{Region: s.cfg.Name, Chunk: chunk}
+	}
+	plain := make([]byte, len(ct))
+	aesx.CTR(s.engine.Cipher(), s.iv(chunk, counter), plain, ct)
+	return plain, nil
+}
+
+// RegionLayout describes where a region's ciphertext and tags live in
+// device DRAM, so the (untrusted) host program can DMA sealed data in and
+// out without understanding it.
+type RegionLayout struct {
+	Name     string
+	RegionID uint32
+	DataBase uint64 // ciphertext, identity-mapped at the region base
+	DataSize uint64
+	TagBase  uint64
+	TagSize  uint64
+	Chunk    int
+}
+
+// Layout reports the DRAM layout of a configured region.
+func (s *Shield) Layout(region string) (RegionLayout, error) {
+	tagOff := s.tagBase
+	for i, rc := range s.cfg.Regions {
+		if rc.Name == region {
+			return RegionLayout{
+				Name:     rc.Name,
+				RegionID: uint32(i + 1),
+				DataBase: rc.Base,
+				DataSize: rc.Size,
+				TagBase:  tagOff,
+				TagSize:  uint64(rc.Chunks() * TagSize),
+				Chunk:    rc.ChunkSize,
+			}, nil
+		}
+		tagOff += uint64(rc.Chunks() * TagSize)
+	}
+	return RegionLayout{}, fmt.Errorf("shield: unknown region %q", region)
+}
+
+// SealRegionData encrypts a full region image in the Shield's chunk format
+// at epoch zero. The Data Owner runs this in a secure location before
+// handing the ciphertext and tags to the untrusted host program for DMA.
+func SealRegionData(cfg RegionConfig, regionID uint32, dek, data []byte) (ct, tags []byte, err error) {
+	if uint64(len(data)) != cfg.Size {
+		return nil, nil, fmt.Errorf("shield: region %q image is %d bytes, want %d", cfg.Name, len(data), cfg.Size)
+	}
+	s, err := newSealer(cfg, regionID, dek)
+	if err != nil {
+		return nil, nil, err
+	}
+	ct = make([]byte, 0, len(data))
+	tags = make([]byte, 0, cfg.Chunks()*TagSize)
+	for c := 0; c < cfg.Chunks(); c++ {
+		chunkCT, tag := s.sealChunk(c, 0, data[c*cfg.ChunkSize:(c+1)*cfg.ChunkSize])
+		ct = append(ct, chunkCT...)
+		tags = append(tags, tag[:]...)
+	}
+	return ct, tags, nil
+}
+
+// OpenRegionData verifies and decrypts a full region image DMAed out of
+// device DRAM. counters supplies the per-chunk write epochs for
+// freshness-protected regions (from Shield.CounterSnapshot, relayed over
+// an authenticated channel); nil means epoch zero everywhere.
+func OpenRegionData(cfg RegionConfig, regionID uint32, dek, ct, tags []byte, counters []uint32) ([]byte, error) {
+	if uint64(len(ct)) != cfg.Size {
+		return nil, fmt.Errorf("shield: ciphertext is %d bytes, want %d", len(ct), cfg.Size)
+	}
+	if len(tags) != cfg.Chunks()*TagSize {
+		return nil, errors.New("shield: tag array has wrong size")
+	}
+	if counters != nil && len(counters) != cfg.Chunks() {
+		return nil, errors.New("shield: counter array has wrong size")
+	}
+	s, err := newSealer(cfg, regionID, dek)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(ct))
+	for c := 0; c < cfg.Chunks(); c++ {
+		var tag [TagSize]byte
+		copy(tag[:], tags[c*TagSize:])
+		ctr := uint32(0)
+		if counters != nil {
+			ctr = counters[c]
+		}
+		plain, err := s.openChunk(c, ctr, ct[c*cfg.ChunkSize:(c+1)*cfg.ChunkSize], tag)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, plain...)
+	}
+	return out, nil
+}
+
+// MarkPreloaded tells the Shield that the host has DMAed sealed data into
+// a region (at epoch zero): the valid bits are set so reads fetch and
+// verify the preloaded ciphertext instead of serving zeros.
+func (s *Shield) MarkPreloaded(region string) error {
+	if !s.provisioned {
+		return errors.New("shield: not provisioned")
+	}
+	for _, set := range s.sets {
+		if set.cfg.Name == region {
+			for i := range set.initialized {
+				set.initialized[i] = true
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("shield: unknown region %q", region)
+}
+
+// CounterSnapshot exports a region's freshness counters, authenticated
+// under the session's register MAC key so the untrusted host cannot forge
+// them in transit to the Data Owner.
+type CounterSnapshot struct {
+	Region   string
+	Counters []uint32
+	Tag      [16]byte
+}
+
+// CounterSnapshot captures the current counters of a region.
+func (s *Shield) CounterSnapshot(region string) (CounterSnapshot, error) {
+	if !s.provisioned {
+		return CounterSnapshot{}, errors.New("shield: not provisioned")
+	}
+	for _, set := range s.sets {
+		if set.cfg.Name == region {
+			snap := CounterSnapshot{Region: region, Counters: append([]uint32(nil), set.counters...)}
+			snap.Tag = s.regs.macSnapshot(region, snap.Counters)
+			return snap, nil
+		}
+	}
+	return CounterSnapshot{}, fmt.Errorf("shield: unknown region %q", region)
+}
+
+// VerifyCounterSnapshot checks a snapshot on the Data Owner side, given
+// the register file keys derived from the same DEK.
+func (rf *RegisterFile) VerifyCounterSnapshot(snap CounterSnapshot) bool {
+	return rf.macSnapshot(snap.Region, snap.Counters) == snap.Tag
+}
+
+func (rf *RegisterFile) macSnapshot(region string, counters []uint32) [16]byte {
+	msg := make([]byte, 0, len(region)+4*len(counters))
+	msg = append(msg, region...)
+	for _, c := range counters {
+		var b [4]byte
+		be32(b[:], c)
+		msg = append(msg, b[:]...)
+	}
+	return hmacx.Tag(rf.macKey, append([]byte("counter-snapshot:"), msg...))
+}

@@ -1,0 +1,266 @@
+package shield
+
+import (
+	"errors"
+	"fmt"
+
+	"shef/internal/axi"
+	"shef/internal/crypto/keywrap"
+	"shef/internal/crypto/schnorr"
+	"shef/internal/mem"
+	"shef/internal/perf"
+)
+
+// Shield is the runtime security perimeter around one accelerator. It owns
+// the private Shield Encryption Key the IP Vendor embedded in the
+// bitstream, receives the Data Owner's Data Encryption Key via a Load Key,
+// and from then on presents plaintext AXI interfaces to the accelerator
+// while everything that leaves it — device memory and host register
+// traffic — is encrypted and authenticated (paper §3 step 11, §5.1).
+type Shield struct {
+	cfg    Config
+	params perf.Params
+	priv   *schnorr.PrivateKey
+
+	port axi.MemoryPort
+	ocm  *mem.OCM
+
+	provisioned bool
+	sets        []*engineSet
+	regs        *RegisterFile
+
+	tagBase   uint64
+	initExtra uint64
+}
+
+// New builds a Shield around cfg. priv is the private Shield Encryption
+// Key (embedded in the bitstream by the IP Vendor); port is the Shell's
+// AXI4 memory interface; ocm is the device on-chip memory pool that
+// buffers and counters are charged against.
+//
+// The Shield is inert until ProvisionLoadKey delivers the Data Encryption
+// Key: before that, all accelerator traffic is refused.
+func New(cfg Config, priv *schnorr.PrivateKey, port axi.MemoryPort, ocm *mem.OCM, params perf.Params) (*Shield, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if priv == nil {
+		return nil, errors.New("shield: missing Shield Encryption Key")
+	}
+	var maxEnd uint64
+	for _, r := range cfg.Regions {
+		if end := r.Base + r.Size; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	const tagAlign = 4096
+	s := &Shield{
+		cfg:     cfg,
+		params:  params,
+		priv:    priv,
+		port:    port,
+		ocm:     ocm,
+		tagBase: (maxEnd + tagAlign - 1) / tagAlign * tagAlign,
+	}
+	return s, nil
+}
+
+// PublicKey returns the public Shield Encryption Key, which the IP Vendor
+// publishes to Data Owners during attestation (paper Figure 3, step 7).
+func (s *Shield) PublicKey() *schnorr.PublicKey { return &s.priv.PublicKey }
+
+// ProvisionLoadKey decrypts the Load Key into the Data Encryption Key and
+// arms the Shield: engine sets and the register file come alive with keys
+// derived from the DEK. A second provisioning replaces all session state,
+// which is how a new Data Owner session rotates keys.
+func (s *Shield) ProvisionLoadKey(lk *keywrap.Wrapped) error {
+	dek, err := keywrap.Unwrap(s.priv, lk)
+	if err != nil {
+		return fmt.Errorf("shield: load key rejected: %w", err)
+	}
+	if len(dek) < 16 {
+		return errors.New("shield: data encryption key too short")
+	}
+	tagOff := s.tagBase
+	perChannel := make(map[int]int)
+	for _, rc := range s.cfg.Regions {
+		perChannel[rc.Channel]++
+	}
+	sets := make([]*engineSet, 0, len(s.cfg.Regions))
+	for i, rc := range s.cfg.Regions {
+		set, err := newEngineSet(rc, uint32(i+1), dek, tagOff, s.port, s.ocm, s.params)
+		if err != nil {
+			return err
+		}
+		set.dramShare = perChannel[rc.Channel]
+		sets = append(sets, set)
+		tagOff += uint64(rc.Chunks() * TagSize)
+	}
+	regs, err := newRegisterFile(s.cfg, dek, s.params)
+	if err != nil {
+		return err
+	}
+	s.sets = sets
+	s.regs = regs
+	s.provisioned = true
+	s.initExtra = s.params.ShieldInitCycles
+	return nil
+}
+
+// Provisioned reports whether a Data Encryption Key is armed.
+func (s *Shield) Provisioned() bool { return s.provisioned }
+
+// Registers exposes the secured register file (nil before provisioning).
+func (s *Shield) Registers() *RegisterFile { return s.regs }
+
+// setFor routes an address to its engine set.
+func (s *Shield) setFor(addr uint64) (*engineSet, error) {
+	if !s.provisioned {
+		return nil, errors.New("shield: not provisioned with a Data Encryption Key")
+	}
+	for _, set := range s.sets {
+		if addr >= set.cfg.Base && addr < set.cfg.Base+set.cfg.Size {
+			return set, nil
+		}
+	}
+	return nil, fmt.Errorf("shield: address %#x outside all configured regions (isolation violation)", addr)
+}
+
+// ReadBurst implements axi.MemoryPort for the accelerator: a plaintext
+// view of shielded memory. Bursts may span chunks but not regions.
+func (s *Shield) ReadBurst(addr uint64, buf []byte) (uint64, error) {
+	set, err := s.setFor(addr)
+	if err != nil {
+		return 0, err
+	}
+	if addr+uint64(len(buf)) > set.cfg.Base+set.cfg.Size {
+		return 0, fmt.Errorf("shield: burst [%#x,+%d) crosses region %q boundary", addr, len(buf), set.cfg.Name)
+	}
+	if err := set.read(addr, buf); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+// WriteBurst implements axi.MemoryPort for the accelerator.
+func (s *Shield) WriteBurst(addr uint64, data []byte) (uint64, error) {
+	set, err := s.setFor(addr)
+	if err != nil {
+		return 0, err
+	}
+	if addr+uint64(len(data)) > set.cfg.Base+set.cfg.Size {
+		return 0, fmt.Errorf("shield: burst [%#x,+%d) crosses region %q boundary", addr, len(data), set.cfg.Name)
+	}
+	if err := set.write(addr, data); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+// Flush writes back all dirty buffer lines. Callers flush at kernel
+// completion so results reach (encrypted) DRAM before the host DMA reads
+// them out.
+func (s *Shield) Flush() error {
+	if !s.provisioned {
+		return errors.New("shield: not provisioned")
+	}
+	for _, set := range s.sets {
+		if err := set.flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InvalidateClean drops clean buffer lines (used by tests to force
+// re-fetch from DRAM and exercise the integrity path).
+func (s *Shield) InvalidateClean() {
+	for _, set := range s.sets {
+		for idx, ln := range set.lines {
+			if !ln.dirty {
+				delete(set.lines, idx)
+			}
+		}
+	}
+}
+
+// RegionStats is the per-engine-set activity report.
+type RegionStats struct {
+	Name                  string
+	Channel               int
+	Hits, Misses          uint64
+	Evictions, Writebacks uint64
+	BusyCycles            uint64
+	DRAMCycles            uint64
+}
+
+// Report summarises simulated cost since provisioning.
+type Report struct {
+	Regions []RegionStats
+	// RegisterCycles is time spent on secured AXI4-Lite traffic.
+	RegisterCycles uint64
+	// InitCycles is the one-time arming cost.
+	InitCycles uint64
+}
+
+// MemoryCycles is the simulated memory-path time: engine sets run in
+// parallel, bounded below by the bus occupancy of the busiest off-chip
+// channel (regions on different channels do not contend).
+func (r Report) MemoryCycles() uint64 {
+	var maxBusy uint64
+	perChannel := make(map[int]uint64)
+	for _, rs := range r.Regions {
+		if rs.BusyCycles > maxBusy {
+			maxBusy = rs.BusyCycles
+		}
+		perChannel[rs.Channel] += rs.DRAMCycles
+	}
+	best := maxBusy
+	for _, dram := range perChannel {
+		if dram > best {
+			best = dram
+		}
+	}
+	return best
+}
+
+// TotalCycles includes register traffic and initialisation.
+func (r Report) TotalCycles() uint64 {
+	return r.MemoryCycles() + r.RegisterCycles + r.InitCycles
+}
+
+// Report captures current counters.
+func (s *Shield) Report() Report {
+	rep := Report{InitCycles: s.initExtra}
+	for _, set := range s.sets {
+		rep.Regions = append(rep.Regions, RegionStats{
+			Name:       set.cfg.Name,
+			Channel:    set.cfg.Channel,
+			Hits:       set.hits,
+			Misses:     set.misses,
+			Evictions:  set.evictions,
+			Writebacks: set.writebacks,
+			BusyCycles: set.busyCycles,
+			DRAMCycles: set.dramCycles,
+		})
+	}
+	if s.regs != nil {
+		rep.RegisterCycles = s.regs.cycles
+	}
+	return rep
+}
+
+// ResetStats zeroes activity counters (keeps keys and buffer contents).
+func (s *Shield) ResetStats() {
+	for _, set := range s.sets {
+		set.busyCycles, set.dramCycles = 0, 0
+		set.hits, set.misses, set.evictions, set.writebacks = 0, 0, 0, 0
+	}
+	if s.regs != nil {
+		s.regs.cycles = 0
+	}
+	s.initExtra = 0
+}
+
+// Config returns the Shield's configuration.
+func (s *Shield) Config() Config { return s.cfg }
