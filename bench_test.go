@@ -13,6 +13,7 @@ package shef
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"shef/internal/accel"
 	"shef/internal/experiments"
@@ -207,6 +208,45 @@ func BenchmarkAblationFreshness(b *testing.B) {
 	}
 	for _, r := range rows {
 		b.Logf("%-26s %8.0f cyc/KB, %d OCM bits", r.Label, r.CyclesPerKB, r.OCMBits)
+	}
+}
+
+// BenchmarkClusterThroughput measures the sharded SDP cluster's aggregate
+// ops/sec as the fleet grows (fixed offered load of eight client
+// goroutines) — the serving-tier scaling story grown from the paper's
+// §6.2.3 case study. cmd/benchtab renders the same sweep with -cluster.
+func BenchmarkClusterThroughput(b *testing.B) {
+	var rows []experiments.ClusterRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.ClusterThroughput(scale(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.Logf("shards=%d workers=%d  %6d ops in %8s  %9.0f ops/sec  sim %9.0f ops/sec (max-busy %d cyc)",
+			r.Shards, r.Workers, r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec, r.SimOpsPerSec, r.SimMaxBusy)
+		b.ReportMetric(r.OpsPerSec, fmt.Sprintf("ops/sec-%dshard", r.Shards))
+		b.ReportMetric(r.SimOpsPerSec, fmt.Sprintf("sim-ops/sec-%dshard", r.Shards))
+	}
+}
+
+// BenchmarkClusterGoroutines sweeps offered load over a fixed four-shard
+// fleet: ops/sec vs client goroutine count.
+func BenchmarkClusterGoroutines(b *testing.B) {
+	var rows []experiments.ClusterRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.ClusterWorkerSweep(scale(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.Logf("shards=%d workers=%2d  %6d ops in %8s  %9.0f ops/sec",
+			r.Shards, r.Workers, r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
+		b.ReportMetric(r.OpsPerSec, fmt.Sprintf("ops/sec-%dworker", r.Workers))
 	}
 }
 

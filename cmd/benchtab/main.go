@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"shef/internal/experiments"
 )
@@ -22,6 +23,7 @@ func main() {
 	table := flag.Int("table", 0, "regenerate Table N (1, 2, or 3)")
 	fig := flag.Int("fig", 0, "regenerate Figure N (5 or 6)")
 	bootFlag := flag.Bool("boot", false, "print the §6.1 boot timeline")
+	cluster := flag.Bool("cluster", false, "run the SDP cluster throughput sweeps (ops/sec vs shards and goroutines)")
 	all := flag.Bool("all", false, "regenerate everything")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
 	flag.Parse()
@@ -55,6 +57,10 @@ func main() {
 	if *all || *bootFlag {
 		any = true
 		printBoot()
+	}
+	if *all || *cluster {
+		any = true
+		printCluster(scale)
 	}
 	if !any {
 		flag.Usage()
@@ -148,6 +154,32 @@ func printTable3(scale experiments.Scale) {
 		p := paper[r.Workload]
 		fmt.Printf("%-10s %8.2f%% %7.2f%% %7.2f%% %9.2f%% %7.2f%% %7.2f%%\n",
 			r.Workload, r.Util.BRAM, r.Util.LUT, r.Util.REG, p[0], p[1], p[2])
+	}
+	fmt.Println()
+}
+
+func printCluster(scale experiments.Scale) {
+	fmt.Println("== SDP cluster throughput: ops/sec vs fleet size (8 client goroutines) ==")
+	rows, err := experiments.ClusterThroughput(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%7s %8s %7s %10s %12s %16s %14s\n", "shards", "workers", "ops", "elapsed", "ops/sec", "sim max-busy cyc", "sim ops/sec")
+	for _, r := range rows {
+		fmt.Printf("%7d %8d %7d %10s %12.0f %16d %14.0f\n",
+			r.Shards, r.Workers, r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec, r.SimMaxBusy, r.SimOpsPerSec)
+	}
+	fmt.Println("(host ops/sec is bounded by real cores; sim ops/sec is the fleet model: ops over the busiest shard's cycles)")
+	fmt.Println()
+	fmt.Println("== SDP cluster throughput: ops/sec vs offered load (4 shards) ==")
+	rows, err = experiments.ClusterWorkerSweep(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%7s %8s %7s %10s %12s\n", "shards", "workers", "ops", "elapsed", "ops/sec")
+	for _, r := range rows {
+		fmt.Printf("%7d %8d %7d %10s %12.0f\n",
+			r.Shards, r.Workers, r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
 	}
 	fmt.Println()
 }

@@ -11,11 +11,13 @@
 package main
 
 import (
+	"crypto/rand"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"os"
 
 	"shef/internal/accel"
 	"shef/internal/boot"
@@ -28,6 +30,7 @@ func main() {
 	variant := flag.String("variant", "128/16x", "shield engine variant")
 	vendorAddr := flag.String("vendor", "", "remote shefd address (empty = in-process vendor)")
 	seed := flag.Int64("seed", 1, "input generation seed")
+	serial := flag.String("serial", "", "device serial (empty = unique per invocation, so concurrent owners against one shefd don't collide in the CA)")
 	flag.Parse()
 
 	v, err := parseVariant(*variant)
@@ -38,6 +41,19 @@ func main() {
 		Design:  *design,
 		Params:  parseParams(*params),
 		Variant: v,
+		Serial:  *serial,
+	}
+	if opts.Serial == "" {
+		// Each invocation manufactures a fresh simulated device with a fresh
+		// key. Two devices sharing a serial end badly: the vendor's CA keeps
+		// one key per serial, so whichever registered last wins and the
+		// other's attestation fails. PID alone can collide across hosts or
+		// recycle, so add random bytes.
+		var suffix [4]byte
+		if _, err := rand.Read(suffix[:]); err != nil {
+			log.Fatal(err)
+		}
+		opts.Serial = fmt.Sprintf("f1-sim-%05d-%x", os.Getpid(), suffix)
 	}
 
 	fmt.Println("== ShEF workflow ==")

@@ -4,6 +4,11 @@
 // device registration, and host-proxied remote attestation (paper
 // Figure 3).
 //
+// Sessions are multiplexed: every connection is an isolated owner session
+// on its own goroutine, so any number of Data Owners can fetch, register,
+// and attest concurrently. SIGINT/SIGTERM trigger a graceful shutdown that
+// drains in-flight attestations before exiting.
+//
 // Pair it with `shefctl -vendor <addr>` in another process to run the
 // two-party workflow across a real network connection.
 //
@@ -18,6 +23,9 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"shef/internal/accel"
 	"shef/internal/hostapp"
@@ -28,6 +36,7 @@ func main() {
 	design := flag.String("design", "vecadd", "accelerator design to offer")
 	params := flag.String("params", "", "design parameters, k=v[,k=v...]")
 	variant := flag.String("variant", "128/16x", "shield engine variant (128/4x, 128/16x, 256/4x, 256/16x, +pmac suffix)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
 	v, err := parseVariant(*variant)
@@ -47,21 +56,33 @@ func main() {
 	if err != nil {
 		log.Fatalf("shefd: %v", err)
 	}
-	fmt.Printf("shefd: serving product %q on %s\n", product, ln.Addr())
+	srv := hostapp.NewVendorServer(vendor, ln)
+	fmt.Printf("shefd: serving product %q on %s\n", product, srv.Addr())
 	fmt.Printf("shefd: designs available in this build: %v\n", accel.Designs())
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "shefd: accept: %v\n", err)
-			return
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- srv.Serve(func(err error) {
+			fmt.Fprintf(os.Stderr, "shefd: %v\n", err)
+		})
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("shefd: %v: draining sessions (up to %s)\n", sig, *drain)
+		if err := srv.Shutdown(*drain); err != nil {
+			fmt.Fprintf(os.Stderr, "shefd: %v\n", err)
 		}
-		go func() {
-			defer conn.Close()
-			if err := vendor.HandleOwner(conn); err != nil {
-				fmt.Fprintf(os.Stderr, "shefd: session from %s: %v\n", conn.RemoteAddr(), err)
-			}
-		}()
+		<-errc
+	case err := <-errc:
+		if err != nil && err != hostapp.ErrServerClosed {
+			log.Fatalf("shefd: %v", err)
+		}
 	}
+	st := srv.Stats()
+	fmt.Printf("shefd: served %d session(s), %d failed\n", st.Served, st.Failed)
 }
 
 func parseParams(s string) map[string]string {

@@ -1,0 +1,3 @@
+module shef
+
+go 1.24

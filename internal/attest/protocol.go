@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"shef/internal/bitstream"
 	"shef/internal/boot"
@@ -21,7 +22,11 @@ import (
 // numbers to registered device public keys (paper §3: "the Manufacturer
 // must also register and publish the public device key via a trusted
 // certificate authority").
+//
+// A CA is safe for concurrent use: shefd serves each Data Owner connection
+// on its own goroutine, and registrations race with attestation lookups.
 type CA struct {
+	mu      sync.RWMutex
 	devices map[string]*rsax.PublicKey
 }
 
@@ -29,10 +34,16 @@ type CA struct {
 func NewCA() *CA { return &CA{devices: make(map[string]*rsax.PublicKey)} }
 
 // Register records a device public key at manufacturing time.
-func (c *CA) Register(serial string, pub *rsax.PublicKey) { c.devices[serial] = pub }
+func (c *CA) Register(serial string, pub *rsax.PublicKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.devices[serial] = pub
+}
 
 // Lookup resolves a serial to its registered key.
 func (c *CA) Lookup(serial string) (*rsax.PublicKey, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	pub, ok := c.devices[serial]
 	if !ok {
 		return nil, fmt.Errorf("attest: device %q not registered with the CA", serial)

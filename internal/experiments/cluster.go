@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"shef/internal/crypto/aesx"
+	"shef/internal/sdp"
+	"shef/internal/shield"
+)
+
+// ---------------------------------------------------------------------
+// Cluster throughput: the §6.2.3 SDP case study grown to a serving fleet.
+// Not a paper table — this is the ROADMAP's "millions of users" direction:
+// aggregate ops/sec across sharded Storage Nodes, swept over shard count
+// (fleet size) and goroutine count (offered load).
+
+// ClusterRow is one point of the throughput sweep.
+type ClusterRow struct {
+	Shards  int
+	Workers int
+	Ops     int
+	// Elapsed is host wall-clock for the measured window; OpsPerSec is the
+	// real (not simulated) aggregate rate, which is what scales with the
+	// fleet once the data path runs on goroutines.
+	Elapsed   time.Duration
+	OpsPerSec float64
+	// SimMaxBusy is the busiest shard's simulated busy cycles — the fleet
+	// analogue of the Shield's max-across-engine-sets wall-clock model.
+	// SimOpsPerSec is the corresponding simulated aggregate rate
+	// (ops / SimMaxBusy at the Storage Node line-rate clock): on a
+	// single-core CI host real ops/sec cannot exceed one shard's rate, but
+	// the simulated rate still shows how the fleet scales.
+	SimMaxBusy   uint64
+	SimOpsPerSec float64
+}
+
+// clusterNodeConfig sizes the per-shard Storage Node for the sweep: PMAC
+// engines (the paper's fast configuration) and enough slots that hash skew
+// cannot overflow a shard.
+func clusterNodeConfig() sdp.NodeConfig {
+	return sdp.NodeConfig{
+		Slots: 64, SlotBytes: 16 << 10, AuthBlock: 4096,
+		Engines: 4, SBox: aesx.SBox16x, MAC: shield.PMAC,
+		BufferBytes: 16 << 10,
+	}
+}
+
+// runClusterLoad builds a cluster and drives workers concurrent
+// Put/Get pairs against it, returning the measured row.
+func runClusterLoad(shards, workers, opsPerWorker, payloadBytes int) (ClusterRow, error) {
+	c, err := sdp.NewCluster(sdp.ClusterConfig{Shards: shards, Node: clusterNodeConfig()})
+	if err != nil {
+		return ClusterRow{}, err
+	}
+	if err := c.RegisterUser("load", []byte("load-key")); err != nil {
+		return ClusterRow{}, err
+	}
+	payload := make([]byte, payloadBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	// Warm one file per worker so the measured window is steady-state.
+	for w := 0; w < workers; w++ {
+		if err := c.Put("load", fmt.Sprintf("w%d", w), payload); err != nil {
+			return ClusterRow{}, err
+		}
+	}
+	c.ResetStats()
+	errs := make([]error, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("w%d", w)
+			for i := 0; i < opsPerWorker; i++ {
+				if err := c.Put("load", name, payload); err != nil {
+					errs[w] = err
+					return
+				}
+				if _, err := c.Get("load", name); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ClusterRow{}, err
+		}
+	}
+	ops := workers * opsPerWorker * 2
+	row := ClusterRow{
+		Shards:     shards,
+		Workers:    workers,
+		Ops:        ops,
+		Elapsed:    elapsed,
+		OpsPerSec:  float64(ops) / elapsed.Seconds(),
+		SimMaxBusy: c.Stats().MaxBusy,
+	}
+	if row.SimMaxBusy > 0 {
+		row.SimOpsPerSec = float64(ops) / sdp.LineRateParams().Seconds(row.SimMaxBusy)
+	}
+	return row, nil
+}
+
+func clusterOps(scale Scale) (opsPerWorker, payload int) {
+	if scale == Paper {
+		return 32, 8 << 10
+	}
+	return 8, 4 << 10
+}
+
+// ClusterThroughput sweeps fleet size at a fixed offered load (eight
+// client goroutines): aggregate ops/sec should grow with shards until the
+// client count is the limit.
+func ClusterThroughput(scale Scale) ([]ClusterRow, error) {
+	ops, payload := clusterOps(scale)
+	var rows []ClusterRow
+	for _, shards := range []int{1, 2, 4, 8} {
+		row, err := runClusterLoad(shards, 8, ops, payload)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ClusterWorkerSweep sweeps offered load (client goroutines) over a fixed
+// four-shard fleet: throughput should rise until workers saturate the
+// shards they hash onto.
+func ClusterWorkerSweep(scale Scale) ([]ClusterRow, error) {
+	ops, payload := clusterOps(scale)
+	var rows []ClusterRow
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		row, err := runClusterLoad(4, workers, ops, payload)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,92 @@
+package hostapp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"shef/internal/accel"
+	"shef/internal/attest"
+)
+
+// Pool is a fleet of fully provisioned Platforms multiplexing concurrent
+// end-to-end runs over many simulated devices — the "millions of users"
+// deployment shape: one vendor offering, N attested FPGA instances, each
+// with its own Shield session, serving Data Owner workloads in parallel.
+type Pool struct {
+	vendor  *attest.Vendor
+	product string
+
+	free chan *Platform
+	all  []*Platform
+}
+
+// NewPool stands up one vendor and builds n independent platforms against
+// it, each on its own device (distinct serials, separately attested and
+// provisioned). Platforms build on separate goroutines: device
+// provisioning does real RSA keygen, so fleet bring-up is the first place
+// the pool's parallelism pays off.
+func NewPool(opts Options, n int) (*Pool, error) {
+	if n < 1 {
+		return nil, errors.New("hostapp: pool needs at least one platform")
+	}
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	vendor, product, err := BuildVendor(opts)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		vendor:  vendor,
+		product: product,
+		free:    make(chan *Platform, n),
+		all:     make([]*Platform, n),
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := opts
+			o.Serial = fmt.Sprintf("%s-pool%02d", opts.Serial, i)
+			plat, err := BuildAgainstVendor(o, product, LocalDial(vendor), vendor)
+			if err != nil {
+				errs[i] = fmt.Errorf("hostapp: pool platform %d: %w", i, err)
+				return
+			}
+			p.all[i] = plat
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	for _, plat := range p.all {
+		p.free <- plat
+	}
+	return p, nil
+}
+
+// Size reports the fleet size.
+func (p *Pool) Size() int { return len(p.all) }
+
+// Acquire checks a platform out of the pool, blocking until one is free.
+// Callers must Release it.
+func (p *Pool) Acquire() *Platform { return <-p.free }
+
+// Release returns a platform to the pool.
+func (p *Pool) Release(plat *Platform) { p.free <- plat }
+
+// Run executes the workload on the next free platform — the serving path a
+// request-per-goroutine frontend would use. Concurrent Run calls proceed
+// on distinct devices in parallel up to the pool size, then queue.
+func (p *Pool) Run(seed int64) (accel.RunResult, error) {
+	plat := p.Acquire()
+	defer p.Release(plat)
+	return plat.Run(seed)
+}
+
+// Vendor exposes the shared vendor (e.g. to serve it over TCP as well).
+func (p *Pool) Vendor() (*attest.Vendor, string) { return p.vendor, p.product }

@@ -1,0 +1,171 @@
+package hostapp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shef/internal/attest"
+)
+
+// OwnerSession is one Data Owner connection being served. Each session is
+// fully isolated: it owns its connection and its protocol scratch state,
+// and touches the vendor only through attest.Vendor's concurrent-safe
+// surfaces (the CA registry and the read-only bitstream catalogue). No
+// mutable vendor state is shared between sessions, so a slow or malicious
+// owner cannot corrupt a neighbour's attestation.
+type OwnerSession struct {
+	ID     uint64
+	Remote string
+
+	conn net.Conn
+}
+
+// VendorServer multiplexes Data Owner sessions over one attestation
+// vendor: the serving tier of shefd. Connections are accepted on a
+// listener and served one goroutine per session, with bounded-time
+// graceful shutdown.
+type VendorServer struct {
+	vendor *attest.Vendor
+	ln     net.Listener
+
+	mu       sync.Mutex
+	sessions map[uint64]*OwnerSession
+	nextID   uint64
+	closed   bool
+
+	wg     sync.WaitGroup
+	served atomic.Uint64
+	failed atomic.Uint64
+}
+
+// NewVendorServer wraps a vendor and a listener. Call Serve to start
+// accepting.
+func NewVendorServer(vendor *attest.Vendor, ln net.Listener) *VendorServer {
+	return &VendorServer{
+		vendor:   vendor,
+		ln:       ln,
+		sessions: make(map[uint64]*OwnerSession),
+	}
+}
+
+// Addr reports the listen address.
+func (s *VendorServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts and serves owner sessions until Shutdown (or a fatal
+// listener error). It blocks; run it on its own goroutine when the caller
+// has other work.
+func (s *VendorServer) Serve(onError func(error)) error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		sess, ok := s.admit(conn)
+		if !ok {
+			conn.Close()
+			return ErrServerClosed
+		}
+		go func() {
+			defer s.wg.Done()
+			defer s.release(sess)
+			if err := s.vendor.HandleOwner(conn); err != nil {
+				s.failed.Add(1)
+				if onError != nil {
+					onError(fmt.Errorf("session %d from %s: %w", sess.ID, sess.Remote, err))
+				}
+				return
+			}
+			s.served.Add(1)
+		}()
+	}
+}
+
+// admit registers a new session unless the server is shutting down. The
+// wg.Add happens here, under the same lock as the closed check, so a
+// session can never slip in between Shutdown's closed=true and its
+// wg.Wait (the classic Add-vs-Wait race).
+func (s *VendorServer) admit(conn net.Conn) (*OwnerSession, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	s.nextID++
+	sess := &OwnerSession{ID: s.nextID, Remote: conn.RemoteAddr().String(), conn: conn}
+	s.sessions[sess.ID] = sess
+	s.wg.Add(1)
+	return sess, true
+}
+
+func (s *VendorServer) release(sess *OwnerSession) {
+	sess.conn.Close()
+	s.mu.Lock()
+	delete(s.sessions, sess.ID)
+	s.mu.Unlock()
+}
+
+// Shutdown stops accepting and waits up to timeout for in-flight sessions
+// to drain; sessions still running after that are cut off. It is safe to
+// call more than once.
+func (s *VendorServer) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		s.ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+	}
+	// Force the stragglers: closing their connections unblocks HandleOwner.
+	s.mu.Lock()
+	n := len(s.sessions)
+	for _, sess := range s.sessions {
+		sess.conn.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	if n == 0 {
+		// The last session released in the instant between the timeout and
+		// the force pass: that is a clean drain, not a cut-off.
+		return nil
+	}
+	return fmt.Errorf("hostapp: %d session(s) cut off after %s drain", n, timeout)
+}
+
+// ServerStats is a point-in-time serving report.
+type ServerStats struct {
+	Active uint64
+	Served uint64
+	Failed uint64
+}
+
+// Stats snapshots session counters.
+func (s *VendorServer) Stats() ServerStats {
+	s.mu.Lock()
+	active := uint64(len(s.sessions))
+	s.mu.Unlock()
+	return ServerStats{Active: active, Served: s.served.Load(), Failed: s.failed.Load()}
+}
+
+// ErrServerClosed mirrors net/http's sentinel for callers that want to
+// distinguish an orderly shutdown from an accept failure.
+var ErrServerClosed = errors.New("hostapp: server closed")

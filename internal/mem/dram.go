@@ -12,6 +12,7 @@ package mem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"shef/internal/perf"
 )
@@ -19,24 +20,45 @@ import (
 // DRAM is a byte-addressable off-chip memory with a bandwidth/latency cycle
 // model. Storage is allocated page-wise on first touch so a 64 GB device
 // memory can be declared without committing 64 GB of host RAM.
+//
+// Locking is striped by page, the software analogue of the device's
+// channel/bank parallelism: engine sets whose regions live on different
+// channels touch disjoint pages and therefore disjoint stripes, so they
+// proceed without lock contention — matching Report.MemoryCycles, where
+// regions on different channels do not contend for bandwidth. Traffic
+// statistics are atomics for the same reason.
 type DRAM struct {
-	mu     sync.Mutex
-	size   uint64
-	pages  map[uint64][]byte
-	params perf.Params
+	size    uint64
+	params  perf.Params
+	stripes [dramStripes]dramStripe
 
 	// Statistics, for benchmarks and the DESIGN.md ablations.
-	readBytes  uint64
-	writeBytes uint64
-	reads      uint64
-	writes     uint64
+	readBytes  atomic.Uint64
+	writeBytes atomic.Uint64
+	reads      atomic.Uint64
+	writes     atomic.Uint64
 }
 
-const pageSize = 1 << 16
+type dramStripe struct {
+	mu    sync.Mutex
+	pages map[uint64][]byte
+}
+
+const (
+	pageSize = 1 << 16
+	// dramStripes is the lock-striping factor. 64 stripes over 64 KB pages
+	// keeps adjacent regions on separate locks while the array of mutexes
+	// stays trivially small.
+	dramStripes = 64
+)
 
 // NewDRAM creates a DRAM of the given byte size with the cycle parameters.
 func NewDRAM(size uint64, params perf.Params) *DRAM {
-	return &DRAM{size: size, pages: make(map[uint64][]byte), params: params}
+	d := &DRAM{size: size, params: params}
+	for i := range d.stripes {
+		d.stripes[i].pages = make(map[uint64][]byte)
+	}
+	return d
 }
 
 // Size reports the memory capacity in bytes.
@@ -48,11 +70,9 @@ func (d *DRAM) ReadBurst(addr uint64, buf []byte) (uint64, error) {
 	if err := d.check(addr, len(buf)); err != nil {
 		return 0, err
 	}
-	d.mu.Lock()
 	d.copyOut(addr, buf)
-	d.reads++
-	d.readBytes += uint64(len(buf))
-	d.mu.Unlock()
+	d.reads.Add(1)
+	d.readBytes.Add(uint64(len(buf)))
 	return d.params.DRAMCycles(len(buf)), nil
 }
 
@@ -61,11 +81,9 @@ func (d *DRAM) WriteBurst(addr uint64, data []byte) (uint64, error) {
 	if err := d.check(addr, len(data)); err != nil {
 		return 0, err
 	}
-	d.mu.Lock()
 	d.copyIn(addr, data)
-	d.writes++
-	d.writeBytes += uint64(len(data))
-	d.mu.Unlock()
+	d.writes.Add(1)
+	d.writeBytes.Add(uint64(len(data)))
 	return d.params.DRAMCycles(len(data)), nil
 }
 
@@ -76,9 +94,7 @@ func (d *DRAM) RawRead(addr uint64, n int) ([]byte, error) {
 		return nil, err
 	}
 	buf := make([]byte, n)
-	d.mu.Lock()
 	d.copyOut(addr, buf)
-	d.mu.Unlock()
 	return buf, nil
 }
 
@@ -87,9 +103,7 @@ func (d *DRAM) RawWrite(addr uint64, data []byte) error {
 	if err := d.check(addr, len(data)); err != nil {
 		return err
 	}
-	d.mu.Lock()
 	d.copyIn(addr, data)
-	d.mu.Unlock()
 	return nil
 }
 
@@ -105,16 +119,15 @@ func (d *DRAM) Restore(addr uint64, snap []byte) error {
 
 // Stats reports cumulative traffic counters.
 func (d *DRAM) Stats() (reads, writes, readBytes, writeBytes uint64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.reads, d.writes, d.readBytes, d.writeBytes
+	return d.reads.Load(), d.writes.Load(), d.readBytes.Load(), d.writeBytes.Load()
 }
 
 // ResetStats zeroes the traffic counters.
 func (d *DRAM) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.reads, d.writes, d.readBytes, d.writeBytes = 0, 0, 0, 0
+	d.reads.Store(0)
+	d.writes.Store(0)
+	d.readBytes.Store(0)
+	d.writeBytes.Store(0)
 }
 
 func (d *DRAM) check(addr uint64, n int) error {
@@ -127,11 +140,17 @@ func (d *DRAM) check(addr uint64, n int) error {
 	return nil
 }
 
-func (d *DRAM) page(idx uint64) []byte {
-	p, ok := d.pages[idx]
+func (d *DRAM) stripe(pidx uint64) *dramStripe {
+	return &d.stripes[pidx%dramStripes]
+}
+
+// page returns the backing storage for a page, allocating on first touch.
+// Callers hold the page's stripe lock.
+func (s *dramStripe) page(idx uint64) []byte {
+	p, ok := s.pages[idx]
 	if !ok {
 		p = make([]byte, pageSize)
-		d.pages[idx] = p
+		s.pages[idx] = p
 	}
 	return p
 }
@@ -140,7 +159,10 @@ func (d *DRAM) copyOut(addr uint64, buf []byte) {
 	for off := 0; off < len(buf); {
 		pidx := (addr + uint64(off)) / pageSize
 		poff := (addr + uint64(off)) % pageSize
-		n := copy(buf[off:], d.page(pidx)[poff:])
+		st := d.stripe(pidx)
+		st.mu.Lock()
+		n := copy(buf[off:], st.page(pidx)[poff:])
+		st.mu.Unlock()
 		off += n
 	}
 }
@@ -149,7 +171,10 @@ func (d *DRAM) copyIn(addr uint64, data []byte) {
 	for off := 0; off < len(data); {
 		pidx := (addr + uint64(off)) / pageSize
 		poff := (addr + uint64(off)) % pageSize
-		n := copy(d.page(pidx)[poff:], data[off:])
+		st := d.stripe(pidx)
+		st.mu.Lock()
+		n := copy(st.page(pidx)[poff:], data[off:])
+		st.mu.Unlock()
 		off += n
 	}
 }

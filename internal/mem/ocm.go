@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // OCM models the FPGA's on-chip memory pool (Block RAM + UltraRAM).
 // UltraScale+ devices provide hundreds of megabits of on-chip RAM, which is
@@ -9,8 +12,11 @@ import "fmt"
 // provide much more on-chip memory via new technologies such as UltraRAM").
 //
 // OCM enforces a capacity budget: allocations beyond the device's pool fail
-// the way an over-provisioned bitstream would fail placement.
+// the way an over-provisioned bitstream would fail placement. The pool is
+// safe for concurrent use: sessions provisioning Shields in parallel (the
+// multi-tenant serving path) race only on the budget counter.
 type OCM struct {
+	mu           sync.Mutex
 	capacityBits uint64
 	usedBits     uint64
 }
@@ -26,6 +32,8 @@ func (o *OCM) Alloc(nBytes int) ([]byte, error) {
 	if nBytes < 0 {
 		return nil, fmt.Errorf("mem: negative OCM allocation %d", nBytes)
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	bits := uint64(nBytes) * 8
 	if o.usedBits+bits > o.capacityBits {
 		return nil, fmt.Errorf("mem: OCM exhausted: need %d bits, %d of %d in use",
@@ -38,6 +46,8 @@ func (o *OCM) Alloc(nBytes int) ([]byte, error) {
 // Free returns capacity to the pool (used when a partial bitstream is
 // cleared during reconfiguration).
 func (o *OCM) Free(nBytes int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	bits := uint64(nBytes) * 8
 	if bits > o.usedBits {
 		o.usedBits = 0
@@ -47,7 +57,11 @@ func (o *OCM) Free(nBytes int) {
 }
 
 // UsedBits reports the currently allocated on-chip bits.
-func (o *OCM) UsedBits() uint64 { return o.usedBits }
+func (o *OCM) UsedBits() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.usedBits
+}
 
 // CapacityBits reports the pool capacity.
 func (o *OCM) CapacityBits() uint64 { return o.capacityBits }
@@ -57,5 +71,5 @@ func (o *OCM) Utilization() float64 {
 	if o.capacityBits == 0 {
 		return 0
 	}
-	return float64(o.usedBits) / float64(o.capacityBits)
+	return float64(o.UsedBits()) / float64(o.capacityBits)
 }

@@ -1,0 +1,363 @@
+package sdp
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"shef/internal/crypto/aesx"
+	"shef/internal/crypto/hmacx"
+	"shef/internal/crypto/kdf"
+	"shef/internal/perf"
+)
+
+// ClusterConfig sizes an SDP cluster: the paper's single Storage Node case
+// study (§6.2.3) grown to a serving fleet.
+type ClusterConfig struct {
+	// Shards is the Storage Node count. Files are distributed over shards
+	// by hashed name, so aggregate throughput scales with the fleet.
+	Shards int
+	// Node configures every Storage Node identically (the homogeneous-rack
+	// deployment the paper's SDP sketch assumes).
+	Node NodeConfig
+	// Params is the per-node cycle model (zero value: LineRateParams).
+	Params perf.Params
+}
+
+// Controller is the SDP Controller Node (CN). It owns the user-key
+// database and is the only party that provisions Storage Nodes: each shard
+// is attested (its Shield public key checked against the session it was
+// booted with) and then receives the key database sealed under the shard's
+// session DEK, so the untrusted fabric between CN and SN carries only
+// ciphertext.
+type Controller struct {
+	mu       sync.RWMutex
+	userKeys map[string][]byte
+}
+
+// NewController builds a CN with an empty user-key database.
+func NewController() *Controller {
+	return &Controller{userKeys: make(map[string][]byte)}
+}
+
+// RegisterUser records (or rotates) a user's key in the CN database.
+func (c *Controller) RegisterUser(user string, key []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.userKeys[user] = append([]byte(nil), key...)
+}
+
+// snapshotKeys copies the database for sealing.
+func (c *Controller) snapshotKeys() map[string][]byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string][]byte, len(c.userKeys))
+	for u, k := range c.userKeys {
+		out[u] = append([]byte(nil), k...)
+	}
+	return out
+}
+
+// SealedKeyDB is the user-key database in transit from CN to SN:
+// AES-CTR ciphertext plus an HMAC tag, both under keys derived from the
+// shard's session DEK. The cloud operator relaying it learns nothing and
+// cannot splice databases between shards (the shard index is folded into
+// the key derivation). Nonce keeps repeated provisionings of the same
+// shard (user registrations rotate the database) from reusing a keystream.
+type SealedKeyDB struct {
+	Nonce      [aesx.IVSize]byte
+	Ciphertext []byte
+	Tag        [hmacx.TagSize]byte
+}
+
+// ctrXor runs the AES-CTR involution under key/iv.
+func ctrXor(key []byte, iv [aesx.IVSize]byte, data []byte) ([]byte, error) {
+	cipher, err := aesx.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(data))
+	aesx.CTR(cipher, iv, out, data)
+	return out, nil
+}
+
+// sealKeyDB serialises and seals the full database for one shard.
+func (c *Controller) sealKeyDB(shard int, dek []byte) (SealedKeyDB, error) {
+	return sealKeys(shard, dek, c.snapshotKeys())
+}
+
+// sealKeys seals an arbitrary key set — the whole database at shard
+// bring-up, or a single-user delta on registration (InstallSealedUserKeys
+// merges, so deltas compose).
+func sealKeys(shard int, dek []byte, keys map[string][]byte) (SealedKeyDB, error) {
+	var plain []byte
+	// Wire format: u32 count, then (u32 len, user, u32 len, key) records.
+	// Order does not matter to the receiver.
+	var count [4]byte
+	binary.BigEndian.PutUint32(count[:], uint32(len(keys)))
+	plain = append(plain, count[:]...)
+	appendBlob := func(b []byte) {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(b)))
+		plain = append(plain, n[:]...)
+		plain = append(plain, b...)
+	}
+	for u, k := range keys {
+		appendBlob([]byte(u))
+		appendBlob(k)
+	}
+	info := fmt.Sprintf("sdp/keydb-shard-%d", shard)
+	encKey := kdf.Derive([]byte(info+"/enc"), dek, nil, 16)
+	macKey := kdf.Derive([]byte(info+"/mac"), dek, nil, 32)
+	var db SealedKeyDB
+	if _, err := rand.Read(db.Nonce[:]); err != nil {
+		return SealedKeyDB{}, err
+	}
+	ct, err := ctrXor(encKey, db.Nonce, plain)
+	if err != nil {
+		return SealedKeyDB{}, err
+	}
+	db.Ciphertext = ct
+	db.Tag = hmacx.Tag(macKey, append(db.Nonce[:], ct...))
+	return db, nil
+}
+
+// InstallSealedUserKeys verifies and opens a CN key-database delivery
+// inside the node's trust domain and installs it. shard must match the
+// index the CN sealed for — a relayed database for another shard fails
+// authentication.
+func (n *Node) InstallSealedUserKeys(shard int, db SealedKeyDB) error {
+	info := fmt.Sprintf("sdp/keydb-shard-%d", shard)
+	encKey := kdf.Derive([]byte(info+"/enc"), n.dek, nil, 16)
+	macKey := kdf.Derive([]byte(info+"/mac"), n.dek, nil, 32)
+	if !hmacx.Verify(macKey, append(db.Nonce[:], db.Ciphertext...), db.Tag) {
+		return errors.New("sdp: sealed key database failed authentication")
+	}
+	plain, err := ctrXor(encKey, db.Nonce, db.Ciphertext)
+	if err != nil {
+		return err
+	}
+	keys, err := parseKeyDB(plain)
+	if err != nil {
+		return err
+	}
+	n.ProvisionUserKeys(keys)
+	return nil
+}
+
+func parseKeyDB(plain []byte) (map[string][]byte, error) {
+	bad := errors.New("sdp: sealed key database malformed")
+	if len(plain) < 4 {
+		return nil, bad
+	}
+	count := binary.BigEndian.Uint32(plain[:4])
+	plain = plain[4:]
+	next := func() ([]byte, error) {
+		if len(plain) < 4 {
+			return nil, bad
+		}
+		l := int(binary.BigEndian.Uint32(plain[:4]))
+		if len(plain) < 4+l {
+			return nil, bad
+		}
+		b := plain[4 : 4+l]
+		plain = plain[4+l:]
+		return b, nil
+	}
+	keys := make(map[string][]byte, count)
+	for i := uint32(0); i < count; i++ {
+		u, err := next()
+		if err != nil {
+			return nil, err
+		}
+		k, err := next()
+		if err != nil {
+			return nil, err
+		}
+		keys[string(u)] = append([]byte(nil), k...)
+	}
+	if len(plain) != 0 {
+		return nil, bad
+	}
+	return keys, nil
+}
+
+// Cluster is a fleet of Storage Nodes behind one Controller Node. Put/Get
+// route by hashed file name; operations against different shards run in
+// parallel (each node serialises internally), which is where the
+// "millions of users" aggregate throughput comes from.
+type Cluster struct {
+	cfg    ClusterConfig
+	ctrl   *Controller
+	shards []*Node
+	deks   [][]byte
+
+	puts, gets, errs atomic.Uint64
+}
+
+// NewCluster boots the fleet: every shard gets a fresh session DEK, is
+// attested/provisioned through the Load Key path inside NewNode, and then
+// receives the (empty) user-key database from the CN. Shards boot on
+// separate goroutines — NewNode does real schnorr keygen and keywrap, so
+// fleet bring-up is itself parallel.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Shards < 1 {
+		return nil, errors.New("sdp: cluster needs at least one shard")
+	}
+	if cfg.Params == (perf.Params{}) {
+		cfg.Params = LineRateParams()
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		ctrl:   NewController(),
+		shards: make([]*Node, cfg.Shards),
+		deks:   make([][]byte, cfg.Shards),
+	}
+	errs := make([]error, cfg.Shards)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dek := make([]byte, 32)
+			if _, err := rand.Read(dek); err != nil {
+				errs[i] = err
+				return
+			}
+			n, err := NewNode(cfg.Node, dek, cfg.Params)
+			if err != nil {
+				errs[i] = fmt.Errorf("sdp: shard %d: %w", i, err)
+				return
+			}
+			c.shards[i] = n
+			c.deks[i] = dek
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	if err := c.reprovision(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// reprovision pushes the CN's current key database to every shard.
+func (c *Cluster) reprovision() error {
+	for i, n := range c.shards {
+		db, err := c.ctrl.sealKeyDB(i, c.deks[i])
+		if err != nil {
+			return err
+		}
+		if err := n.InstallSealedUserKeys(i, db); err != nil {
+			return fmt.Errorf("sdp: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RegisterUser records the user with the CN and provisions all shards. Any
+// shard may be asked for any of the user's files, so the database is
+// replicated fleet-wide (the paper's CN "securely provisions a database of
+// user keys into the TEE" — here, into every TEE). Only the new user's
+// record travels: shards merge deltas, so registering N users costs
+// O(N·shards), not O(N²·shards).
+func (c *Cluster) RegisterUser(user string, key []byte) error {
+	c.ctrl.RegisterUser(user, key)
+	delta := map[string][]byte{user: key}
+	for i, n := range c.shards {
+		db, err := sealKeys(i, c.deks[i], delta)
+		if err != nil {
+			return err
+		}
+		if err := n.InstallSealedUserKeys(i, db); err != nil {
+			return fmt.Errorf("sdp: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ShardFor routes a file name to its shard (FNV-1a over the name).
+func (c *Cluster) ShardFor(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(len(c.shards)))
+}
+
+// Shards reports the fleet size.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Node exposes one shard (tests, per-shard reports).
+func (c *Cluster) Node(i int) *Node { return c.shards[i] }
+
+// Put stores a file on its home shard.
+func (c *Cluster) Put(user, name string, payload []byte) error {
+	err := c.shards[c.ShardFor(name)].Put(user, name, payload)
+	if err != nil {
+		c.errs.Add(1)
+		return err
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+// Get fetches a file from its home shard.
+func (c *Cluster) Get(user, name string) ([]byte, error) {
+	data, err := c.shards[c.ShardFor(name)].Get(user, name)
+	if err != nil {
+		c.errs.Add(1)
+		return nil, err
+	}
+	c.gets.Add(1)
+	return data, nil
+}
+
+// ClusterStats aggregates fleet activity.
+type ClusterStats struct {
+	Shards int
+	Puts   uint64
+	Gets   uint64
+	Errors uint64
+	// BusyCycles is the simulated busy time summed over shards; MaxBusy is
+	// the busiest shard — the fleet analogue of the Shield's
+	// max-across-engine-sets wall-clock model.
+	BusyCycles uint64
+	MaxBusy    uint64
+}
+
+// Stats snapshots the cluster's counters.
+func (c *Cluster) Stats() ClusterStats {
+	st := ClusterStats{
+		Shards: len(c.shards),
+		Puts:   c.puts.Load(),
+		Gets:   c.gets.Load(),
+		Errors: c.errs.Load(),
+	}
+	for _, n := range c.shards {
+		rep := n.Report()
+		var busy uint64
+		for _, r := range rep.Regions {
+			busy += r.BusyCycles
+		}
+		st.BusyCycles += busy
+		if busy > st.MaxBusy {
+			st.MaxBusy = busy
+		}
+	}
+	return st
+}
+
+// ResetStats zeroes the op counters and every shard's Shield counters.
+func (c *Cluster) ResetStats() {
+	c.puts.Store(0)
+	c.gets.Store(0)
+	c.errs.Store(0)
+	for _, n := range c.shards {
+		n.ResetStats()
+	}
+}

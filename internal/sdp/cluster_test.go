@@ -1,0 +1,195 @@
+package sdp
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func clusterConfig(shards int) ClusterConfig {
+	// Smaller slots but many more of them than smallConfig: hash routing is
+	// uneven, so any one shard may receive well above its fair share.
+	node := smallConfig()
+	node.Slots = 32
+	node.SlotBytes = 16 << 10
+	return ClusterConfig{Shards: shards, Node: node}
+}
+
+func newCluster(t *testing.T, shards int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(clusterConfig(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"alice", "bob"} {
+		if err := c.RegisterUser(u, []byte(u+"-key")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestClusterPutGetRoundTrip(t *testing.T) {
+	c := newCluster(t, 4)
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("file-%d", i)
+		payload := bytes.Repeat([]byte{byte(i + 1)}, 3000+i*100)
+		if err := c.Put("alice", name, payload); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Get("alice", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("file %q corrupted through the cluster", name)
+		}
+	}
+	st := c.Stats()
+	if st.Puts != 8 || st.Gets != 8 || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestClusterShardingIsStableAndSpread(t *testing.T) {
+	c := newCluster(t, 4)
+	seen := make(map[int]int)
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("file-%d", i)
+		s := c.ShardFor(name)
+		if s != c.ShardFor(name) {
+			t.Fatal("shard routing not deterministic")
+		}
+		if s < 0 || s >= c.Shards() {
+			t.Fatalf("shard %d out of range", s)
+		}
+		seen[s]++
+	}
+	if len(seen) < 3 {
+		t.Fatalf("64 files landed on only %d of 4 shards: %v", len(seen), seen)
+	}
+}
+
+func TestClusterPolicyAcrossShards(t *testing.T) {
+	c := newCluster(t, 3)
+	if err := c.Put("alice", "secret", []byte("alice's record")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("bob", "secret"); err == nil {
+		t.Fatal("bob read alice's file through the cluster")
+	}
+	if _, err := c.Get("mallory", "secret"); err == nil {
+		t.Fatal("unregistered user served")
+	}
+	if c.Stats().Errors != 2 {
+		t.Fatalf("errors = %d, want 2", c.Stats().Errors)
+	}
+}
+
+func TestClusterLateRegistrationReachesAllShards(t *testing.T) {
+	c := newCluster(t, 4)
+	if err := c.RegisterUser("carol", []byte("carol-key")); err != nil {
+		t.Fatal(err)
+	}
+	// Write one file per shard so every node must know carol.
+	for i := 0; i < 16; i++ {
+		name := fmt.Sprintf("carol-%d", i)
+		if err := c.Put("carol", name, []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSealedKeyDBRejectsSplice(t *testing.T) {
+	c := newCluster(t, 2)
+	// A database sealed for shard 0 must not install on shard 1, even if
+	// the operator relays it byte-for-byte.
+	db, err := c.ctrl.sealKeyDB(0, c.deks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Node(1).InstallSealedUserKeys(1, db); err == nil {
+		t.Fatal("shard 1 accepted a database sealed for shard 0")
+	}
+	// Bit flips are caught.
+	db2, _ := c.ctrl.sealKeyDB(0, c.deks[0])
+	db2.Ciphertext[0] ^= 1
+	if err := c.Node(0).InstallSealedUserKeys(0, db2); err == nil {
+		t.Fatal("tampered key database installed")
+	}
+}
+
+// TestClusterConcurrentPutGet drives many goroutines against all shards at
+// once; run under -race this is the data-path concurrency check for the
+// serving tier.
+func TestClusterConcurrentPutGet(t *testing.T) {
+	c := newCluster(t, 4)
+	const workers = 8
+	const filesPerWorker = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*filesPerWorker*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < filesPerWorker; i++ {
+				name := fmt.Sprintf("w%d-f%d", w, i)
+				payload := bytes.Repeat([]byte{byte(w*16 + i + 1)}, 2048)
+				if err := c.Put("alice", name, payload); err != nil {
+					errCh <- err
+					return
+				}
+				got, err := c.Get("alice", name)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					errCh <- fmt.Errorf("file %q corrupted under concurrency", name)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Puts != workers*filesPerWorker || st.Gets != workers*filesPerWorker {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BusyCycles == 0 || st.MaxBusy == 0 {
+		t.Fatal("no simulated busy time accounted")
+	}
+}
+
+// TestClusterConcurrentMixedUsers mixes users and overwrites under load so
+// the per-node directory and user-key paths race-test too.
+func TestClusterConcurrentMixedUsers(t *testing.T) {
+	c := newCluster(t, 2)
+	users := []string{"alice", "bob"}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			u := users[w%2]
+			name := fmt.Sprintf("shared-%d", w%4) // collide on purpose
+			for i := 0; i < 3; i++ {
+				payload := bytes.Repeat([]byte{byte(w + 1)}, 1024)
+				// Overwrites by the other user are policy-rejected; both
+				// outcomes are fine — the invariant is no race, no torn data.
+				if err := c.Put(u, name, payload); err != nil {
+					continue
+				}
+				if got, err := c.Get(u, name); err == nil && len(got) != 1024 {
+					panic("torn read")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -13,6 +13,7 @@ package sdp
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"shef/internal/crypto/aesx"
 	"shef/internal/crypto/kdf"
@@ -81,6 +82,11 @@ const (
 // (directory, sizes) lives in node-internal (on-chip) state; file contents
 // live encrypted in the store region; application traffic stages through
 // the tls region.
+//
+// A Node is safe for concurrent use, but serialises its operations: the
+// node has a single TLS staging region and a single directory, so requests
+// against one node queue the way they would on one physical Storage Node's
+// network port. Cluster spreads load over many nodes for real parallelism.
 type Node struct {
 	cfg    NodeConfig
 	sh     *shield.Shield
@@ -88,6 +94,7 @@ type Node struct {
 	params perf.Params
 	dek    []byte
 
+	mu        sync.Mutex
 	userKeys  map[string][]byte
 	directory map[string]fileEntry
 	nextSlot  int
@@ -175,6 +182,8 @@ func NewNode(cfg NodeConfig, dek []byte, params perf.Params) (*Node, error) {
 // ProvisionUserKeys installs the CN's user-key database (paper: "The CN
 // securely provisions a database of user keys into the TEE").
 func (n *Node) ProvisionUserKeys(keys map[string][]byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	for u, k := range keys {
 		n.userKeys[u] = append([]byte(nil), k...)
 	}
@@ -237,6 +246,8 @@ func (n *Node) stageTLSOut(size int) ([]byte, error) {
 // Put stores a file for a user: application → tls engine set → user-key
 // layer → store engine set.
 func (n *Node) Put(user, name string, payload []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if _, ok := n.userKeys[user]; !ok {
 		return fmt.Errorf("sdp: user %q has no provisioned key", user)
 	}
@@ -274,6 +285,8 @@ func (n *Node) Put(user, name string, payload []byte) error {
 // Get retrieves a file for a user and returns the plaintext as the
 // application's TLS endpoint would see it.
 func (n *Node) Get(user, name string) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if _, ok := n.userKeys[user]; !ok {
 		return nil, fmt.Errorf("sdp: user %q has no provisioned key", user)
 	}

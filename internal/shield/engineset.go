@@ -2,6 +2,7 @@ package shield
 
 import (
 	"fmt"
+	"sync"
 
 	"shef/internal/axi"
 	"shef/internal/crypto/aesx"
@@ -13,9 +14,18 @@ import (
 // engineSet is the runtime of one configured memory region: the AES engine
 // pool, the MAC engine, the on-chip buffer, and (optionally) the freshness
 // counters. It is the unit of parallelism in the Shield: engine sets
-// operate concurrently, and the performance model takes the maximum busy
-// time across sets (paper §5.2.2).
+// operate concurrently — in this reproduction as real goroutines — and the
+// performance model takes the maximum busy time across sets (paper §5.2.2).
+//
+// All exported-to-Shield entry points (read, write, flush, the stats and
+// maintenance accessors) take mu; the lower-case helpers below them assume
+// it is held. One mutex per set means accesses to *different* regions run
+// genuinely in parallel, mirroring the hardware where each engine set is
+// its own pipeline, while accesses within a region serialise the way a
+// single buffer/port pair would.
 type engineSet struct {
+	mu sync.Mutex
+
 	cfg      RegionConfig
 	regionID uint32
 	params   perf.Params
@@ -45,6 +55,10 @@ type engineSet struct {
 	// bit lives on-chip, so an adversary cannot plant data in virgin
 	// memory.
 	initialized []bool
+
+	// ocmBytes is the on-chip budget this set holds, returned to the pool
+	// when a re-provisioning replaces the set.
+	ocmBytes int
 
 	// Performance accounting.
 	busyCycles                          uint64 // accumulated engine-set busy time (chunk pipeline)
@@ -85,20 +99,39 @@ func newEngineSet(cfg RegionConfig, regionID uint32, dek []byte, tagBase uint64,
 		capacity: cfg.bufferLines(),
 	}
 	// Charge on-chip memory: the buffer, counters, and valid bits.
-	if _, err := ocm.Alloc(s.capacity * cfg.ChunkSize); err != nil {
-		return nil, fmt.Errorf("shield: region %q buffer: %w", cfg.Name, err)
+	alloc := func(n int, what string) error {
+		if _, err := ocm.Alloc(n); err != nil {
+			return fmt.Errorf("shield: region %q %s: %w", cfg.Name, what, err)
+		}
+		s.ocmBytes += n
+		return nil
+	}
+	if err := alloc(s.capacity*cfg.ChunkSize, "buffer"); err != nil {
+		s.releaseOCM(ocm)
+		return nil, err
 	}
 	if cfg.Freshness {
-		if _, err := ocm.Alloc(cfg.Chunks() * CounterSize); err != nil {
-			return nil, fmt.Errorf("shield: region %q counters: %w", cfg.Name, err)
+		if err := alloc(cfg.Chunks()*CounterSize, "counters"); err != nil {
+			s.releaseOCM(ocm)
+			return nil, err
 		}
 	}
-	if _, err := ocm.Alloc((cfg.Chunks() + 7) / 8); err != nil {
-		return nil, fmt.Errorf("shield: region %q valid bits: %w", cfg.Name, err)
+	if err := alloc((cfg.Chunks()+7)/8, "valid bits"); err != nil {
+		s.releaseOCM(ocm)
+		return nil, err
 	}
 	s.counters = make([]uint32, cfg.Chunks())
 	s.initialized = make([]bool, cfg.Chunks())
 	return s, nil
+}
+
+// releaseOCM returns the set's on-chip budget to the pool (the partial
+// reconfiguration that clears a replaced session's logic).
+func (s *engineSet) releaseOCM(ocm *mem.OCM) {
+	if s.ocmBytes > 0 {
+		ocm.Free(s.ocmBytes)
+		s.ocmBytes = 0
+	}
 }
 
 // cryptoCycles is the engine-set crypto time for one chunk transfer. The
@@ -209,7 +242,7 @@ func (s *engineSet) evictIfFull() error {
 	if len(s.lines) < s.capacity {
 		return nil
 	}
-	victim, oldest := -1, uint64(1<<63)
+	victim, oldest := -1, ^uint64(0)
 	for idx, ln := range s.lines {
 		if ln.tick < oldest {
 			victim, oldest = idx, ln.tick
@@ -250,26 +283,33 @@ func (s *engineSet) writeback(chunk int) error {
 	return nil
 }
 
-// read copies region bytes [addr, addr+len(buf)) into buf.
-func (s *engineSet) read(addr uint64, buf []byte) error {
+// read copies region bytes [addr, addr+len(buf)) into buf and returns the
+// engine-set busy cycles the access cost.
+func (s *engineSet) read(addr uint64, buf []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := s.busyCycles
 	off := addr - s.cfg.Base
 	for done := 0; done < len(buf); {
 		chunk := int((off + uint64(done)) / uint64(s.cfg.ChunkSize))
 		inOff := int((off + uint64(done)) % uint64(s.cfg.ChunkSize))
 		ln, err := s.load(chunk, true)
 		if err != nil {
-			return err
+			return s.busyCycles - start, err
 		}
 		n := copy(buf[done:], ln.data[inOff:])
 		s.chargeHit(n)
 		s.hits++
 		done += n
 	}
-	return nil
+	return s.busyCycles - start, nil
 }
 
-// write stores data at addr.
-func (s *engineSet) write(addr uint64, data []byte) error {
+// write stores data at addr and returns the busy cycles the access cost.
+func (s *engineSet) write(addr uint64, data []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := s.busyCycles
 	off := addr - s.cfg.Base
 	for done := 0; done < len(data); {
 		chunk := int((off + uint64(done)) / uint64(s.cfg.ChunkSize))
@@ -285,7 +325,7 @@ func (s *engineSet) write(addr uint64, data []byte) error {
 		fullOverwrite := inOff == 0 && n == s.cfg.ChunkSize
 		ln, err := s.load(chunk, !fullOverwrite)
 		if err != nil {
-			return err
+			return s.busyCycles - start, err
 		}
 		copy(ln.data[inOff:], data[done:done+n])
 		ln.dirty = true
@@ -293,17 +333,70 @@ func (s *engineSet) write(addr uint64, data []byte) error {
 		s.hits++
 		done += n
 	}
-	return nil
+	return s.busyCycles - start, nil
 }
 
 // flush writes back every dirty line (end of kernel / result publication).
 func (s *engineSet) flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for idx := range s.lines {
 		if err := s.writeback(idx); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// invalidateClean drops clean buffer lines.
+func (s *engineSet) invalidateClean() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for idx, ln := range s.lines {
+		if !ln.dirty {
+			delete(s.lines, idx)
+		}
+	}
+}
+
+// stats snapshots the set's counters for Shield.Report.
+func (s *engineSet) stats() RegionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return RegionStats{
+		Name:       s.cfg.Name,
+		Channel:    s.cfg.Channel,
+		Hits:       s.hits,
+		Misses:     s.misses,
+		Evictions:  s.evictions,
+		Writebacks: s.writebacks,
+		BusyCycles: s.busyCycles,
+		DRAMCycles: s.dramCycles,
+	}
+}
+
+// resetStats zeroes the set's counters.
+func (s *engineSet) resetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.busyCycles, s.dramCycles = 0, 0
+	s.hits, s.misses, s.evictions, s.writebacks = 0, 0, 0, 0
+}
+
+// markPreloaded sets every valid bit (host DMAed sealed data into DRAM).
+func (s *engineSet) markPreloaded() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.initialized {
+		s.initialized[i] = true
+	}
+}
+
+// counterSnapshot copies the freshness counters out under the lock.
+func (s *engineSet) counterSnapshot() []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]uint32(nil), s.counters...)
 }
 
 // IntegrityError reports a failed MAC verification: spoofed, spliced,

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"shef/internal/crypto/aesx"
 	"shef/internal/crypto/hmacx"
@@ -39,15 +40,24 @@ type SealedReg struct {
 
 // RegisterFile is the Shield's secured AXI4-Lite interface: a plaintext
 // register file on the accelerator side, sealed messages on the host side.
+//
+// The server-side entry points (ReadReg/WriteReg for the accelerator,
+// HostWrite/HostRead for the sealed host path) are safe for concurrent
+// use; the hardware analogue is the AXI4-Lite interconnect serialising
+// single-beat accesses. The client-side sealing helpers (SealWrite,
+// SealReadRequest, OpenResponse) touch only immutable key material and
+// need no locking — each host session owns its own sequence counter.
 type RegisterFile struct {
-	cfg     Config
+	cfg    Config
+	encKey []byte
+	macKey []byte
+	cipher *aesx.Cipher
+	params perf.Params
+
+	mu      sync.Mutex
 	regs    []uint64
-	encKey  []byte
-	macKey  []byte
-	cipher  *aesx.Cipher
 	lastSeq map[byte]uint64 // per-direction high-water mark
 	cycles  uint64
-	params  perf.Params
 }
 
 // Message directions (domain separation for MACs and IVs).
@@ -86,6 +96,8 @@ func (rf *RegisterFile) Len() int { return len(rf.regs) }
 
 // ReadReg implements axi.RegisterPort for the accelerator.
 func (rf *RegisterFile) ReadReg(index int) (uint64, uint64, error) {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
 	if index < 0 || index >= len(rf.regs) {
 		return 0, 0, fmt.Errorf("shield: register %d out of range", index)
 	}
@@ -94,11 +106,27 @@ func (rf *RegisterFile) ReadReg(index int) (uint64, uint64, error) {
 
 // WriteReg implements axi.RegisterPort for the accelerator.
 func (rf *RegisterFile) WriteReg(index int, v uint64) (uint64, error) {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
 	if index < 0 || index >= len(rf.regs) {
 		return 0, fmt.Errorf("shield: register %d out of range", index)
 	}
 	rf.regs[index] = v
 	return 1, nil
+}
+
+// cyclesSnapshot reads the accumulated AXI4-Lite cycle count.
+func (rf *RegisterFile) cyclesSnapshot() uint64 {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	return rf.cycles
+}
+
+// resetCycles zeroes the AXI4-Lite cycle count.
+func (rf *RegisterFile) resetCycles() {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
+	rf.cycles = 0
 }
 
 // --- Host side (sealed) ---
@@ -143,6 +171,7 @@ func (rf *RegisterFile) seal(dir byte, index uint32, seq uint64, plain []byte) S
 }
 
 // open verifies and decrypts a sealed message, enforcing seq monotonicity.
+// Callers hold rf.mu (the sequence high-water marks are shared state).
 func (rf *RegisterFile) open(dir byte, m SealedReg) (index uint32, plain []byte, err error) {
 	if !hmacx.Verify(rf.macKey, rf.macMsg(dir, m.Index, m.Seq, m.Payload), m.Tag) {
 		return 0, nil, errors.New("shield: register message authentication failed")
@@ -169,6 +198,8 @@ func (rf *RegisterFile) open(dir byte, m SealedReg) (index uint32, plain []byte,
 
 // HostWrite applies a sealed host write to the register file.
 func (rf *RegisterFile) HostWrite(m SealedReg) error {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
 	rf.cycles += regOpCycles
 	index, plain, err := rf.open(dirHostWrite, m)
 	if err != nil {
@@ -185,6 +216,8 @@ func (rf *RegisterFile) HostWrite(m SealedReg) error {
 // returns the register value sealed for the response direction, tagged
 // with the request's sequence number so responses cannot be swapped.
 func (rf *RegisterFile) HostRead(m SealedReg) (SealedReg, error) {
+	rf.mu.Lock()
+	defer rf.mu.Unlock()
 	rf.cycles += regOpCycles
 	index, plain, err := rf.open(dirHostRead, m)
 	if err != nil {

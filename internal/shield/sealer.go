@@ -194,14 +194,14 @@ func OpenRegionData(cfg RegionConfig, regionID uint32, dek, ct, tags []byte, cou
 // a region (at epoch zero): the valid bits are set so reads fetch and
 // verify the preloaded ciphertext instead of serving zeros.
 func (s *Shield) MarkPreloaded(region string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.provisioned {
 		return errors.New("shield: not provisioned")
 	}
 	for _, set := range s.sets {
 		if set.cfg.Name == region {
-			for i := range set.initialized {
-				set.initialized[i] = true
-			}
+			set.markPreloaded()
 			return nil
 		}
 	}
@@ -219,12 +219,14 @@ type CounterSnapshot struct {
 
 // CounterSnapshot captures the current counters of a region.
 func (s *Shield) CounterSnapshot(region string) (CounterSnapshot, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.provisioned {
 		return CounterSnapshot{}, errors.New("shield: not provisioned")
 	}
 	for _, set := range s.sets {
 		if set.cfg.Name == region {
-			snap := CounterSnapshot{Region: region, Counters: append([]uint32(nil), set.counters...)}
+			snap := CounterSnapshot{Region: region, Counters: set.counterSnapshot()}
 			snap.Tag = s.regs.macSnapshot(region, snap.Counters)
 			return snap, nil
 		}

@@ -3,6 +3,7 @@ package shield
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"shef/internal/axi"
 	"shef/internal/crypto/keywrap"
@@ -17,6 +18,11 @@ import (
 // and from then on presents plaintext AXI interfaces to the accelerator
 // while everything that leaves it — device memory and host register
 // traffic — is encrypted and authenticated (paper §3 step 11, §5.1).
+// A Shield is safe for concurrent use: the data path takes a read lock on
+// the session state and per-engine-set locks, so accelerator ports driving
+// different regions proceed in parallel (the hardware's per-set
+// parallelism), while ProvisionLoadKey — a whole-session swap — excludes
+// all traffic.
 type Shield struct {
 	cfg    Config
 	params perf.Params
@@ -25,12 +31,21 @@ type Shield struct {
 	port axi.MemoryPort
 	ocm  *mem.OCM
 
+	// provMu serialises whole provisionings: two concurrent key rotations
+	// would otherwise both build engine-set fleets (double-charging the
+	// OCM pool) and the loser's fleet would leak its on-chip budget.
+	provMu sync.Mutex
+
+	// mu guards the session state below it: ProvisionLoadKey replaces the
+	// engine sets and register file wholesale (key rotation), so the data
+	// path holds the read side while a reprovision holds the write side.
+	mu          sync.RWMutex
 	provisioned bool
 	sets        []*engineSet
 	regs        *RegisterFile
+	initExtra   uint64
 
-	tagBase   uint64
-	initExtra uint64
+	tagBase uint64
 }
 
 // New builds a Shield around cfg. priv is the private Shield Encryption
@@ -72,8 +87,14 @@ func (s *Shield) PublicKey() *schnorr.PublicKey { return &s.priv.PublicKey }
 // ProvisionLoadKey decrypts the Load Key into the Data Encryption Key and
 // arms the Shield: engine sets and the register file come alive with keys
 // derived from the DEK. A second provisioning replaces all session state,
-// which is how a new Data Owner session rotates keys.
+// which is how a new Data Owner session rotates keys: the old session's
+// logic is cleared first — in-flight bursts drain, its on-chip budget
+// returns to the pool — and then the new session loads. A load that fails
+// midway leaves the Shield unprovisioned (the fabric was already
+// cleared), refusing service until a successful provisioning.
 func (s *Shield) ProvisionLoadKey(lk *keywrap.Wrapped) error {
+	s.provMu.Lock()
+	defer s.provMu.Unlock()
 	dek, err := keywrap.Unwrap(s.priv, lk)
 	if err != nil {
 		return fmt.Errorf("shield: load key rejected: %w", err)
@@ -81,16 +102,33 @@ func (s *Shield) ProvisionLoadKey(lk *keywrap.Wrapped) error {
 	if len(dek) < 16 {
 		return errors.New("shield: data encryption key too short")
 	}
+	// Clear the previous session. The write lock waits out every in-flight
+	// burst (they hold the read side for their full duration), so this is
+	// a quiescent point.
+	s.mu.Lock()
+	old := s.sets
+	s.sets, s.regs, s.provisioned = nil, nil, false
+	s.mu.Unlock()
+	for _, set := range old {
+		set.releaseOCM(s.ocm)
+	}
+
 	tagOff := s.tagBase
 	perChannel := make(map[int]int)
 	for _, rc := range s.cfg.Regions {
 		perChannel[rc.Channel]++
 	}
 	sets := make([]*engineSet, 0, len(s.cfg.Regions))
+	fail := func(err error) error {
+		for _, set := range sets {
+			set.releaseOCM(s.ocm)
+		}
+		return err
+	}
 	for i, rc := range s.cfg.Regions {
 		set, err := newEngineSet(rc, uint32(i+1), dek, tagOff, s.port, s.ocm, s.params)
 		if err != nil {
-			return err
+			return fail(err)
 		}
 		set.dramShare = perChannel[rc.Channel]
 		sets = append(sets, set)
@@ -98,22 +136,33 @@ func (s *Shield) ProvisionLoadKey(lk *keywrap.Wrapped) error {
 	}
 	regs, err := newRegisterFile(s.cfg, dek, s.params)
 	if err != nil {
-		return err
+		return fail(err)
 	}
+	s.mu.Lock()
 	s.sets = sets
 	s.regs = regs
 	s.provisioned = true
 	s.initExtra = s.params.ShieldInitCycles
+	s.mu.Unlock()
 	return nil
 }
 
 // Provisioned reports whether a Data Encryption Key is armed.
-func (s *Shield) Provisioned() bool { return s.provisioned }
+func (s *Shield) Provisioned() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.provisioned
+}
 
 // Registers exposes the secured register file (nil before provisioning).
-func (s *Shield) Registers() *RegisterFile { return s.regs }
+func (s *Shield) Registers() *RegisterFile {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.regs
+}
 
-// setFor routes an address to its engine set.
+// setFor routes an address to its engine set. Callers hold s.mu (either
+// side); the returned set additionally serialises on its own mutex.
 func (s *Shield) setFor(addr uint64) (*engineSet, error) {
 	if !s.provisioned {
 		return nil, errors.New("shield: not provisioned with a Data Encryption Key")
@@ -127,8 +176,15 @@ func (s *Shield) setFor(addr uint64) (*engineSet, error) {
 }
 
 // ReadBurst implements axi.MemoryPort for the accelerator: a plaintext
-// view of shielded memory. Bursts may span chunks but not regions.
+// view of shielded memory. Bursts may span chunks but not regions. The
+// returned cycle count is the engine-set busy time the access cost
+// (on-chip hits plus any chunk fetch/verify pipeline time).
+//
+// The session read lock is held for the whole access, so a concurrent
+// ProvisionLoadKey cannot swap the engine sets mid-burst.
 func (s *Shield) ReadBurst(addr uint64, buf []byte) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	set, err := s.setFor(addr)
 	if err != nil {
 		return 0, err
@@ -136,14 +192,14 @@ func (s *Shield) ReadBurst(addr uint64, buf []byte) (uint64, error) {
 	if addr+uint64(len(buf)) > set.cfg.Base+set.cfg.Size {
 		return 0, fmt.Errorf("shield: burst [%#x,+%d) crosses region %q boundary", addr, len(buf), set.cfg.Name)
 	}
-	if err := set.read(addr, buf); err != nil {
-		return 0, err
-	}
-	return 0, nil
+	return set.read(addr, buf)
 }
 
-// WriteBurst implements axi.MemoryPort for the accelerator.
+// WriteBurst implements axi.MemoryPort for the accelerator. The returned
+// cycle count is the engine-set busy time the access cost.
 func (s *Shield) WriteBurst(addr uint64, data []byte) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	set, err := s.setFor(addr)
 	if err != nil {
 		return 0, err
@@ -151,36 +207,47 @@ func (s *Shield) WriteBurst(addr uint64, data []byte) (uint64, error) {
 	if addr+uint64(len(data)) > set.cfg.Base+set.cfg.Size {
 		return 0, fmt.Errorf("shield: burst [%#x,+%d) crosses region %q boundary", addr, len(data), set.cfg.Name)
 	}
-	if err := set.write(addr, data); err != nil {
-		return 0, err
-	}
-	return 0, nil
+	return set.write(addr, data)
 }
 
 // Flush writes back all dirty buffer lines. Callers flush at kernel
 // completion so results reach (encrypted) DRAM before the host DMA reads
 // them out.
+//
+// Engine sets flush on separate goroutines — the hardware's per-set
+// parallelism made real — so wall-clock time follows the performance
+// model's max-across-sets rather than the sum. Every set completes even
+// if one fails (no region is left half-written); the per-set errors are
+// joined.
 func (s *Shield) Flush() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if !s.provisioned {
 		return errors.New("shield: not provisioned")
 	}
-	for _, set := range s.sets {
-		if err := set.flush(); err != nil {
-			return err
-		}
+	if len(s.sets) == 1 {
+		return s.sets[0].flush()
 	}
-	return nil
+	errs := make([]error, len(s.sets))
+	var wg sync.WaitGroup
+	for i, set := range s.sets {
+		wg.Add(1)
+		go func(i int, set *engineSet) {
+			defer wg.Done()
+			errs[i] = set.flush()
+		}(i, set)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // InvalidateClean drops clean buffer lines (used by tests to force
 // re-fetch from DRAM and exercise the integrity path).
 func (s *Shield) InvalidateClean() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, set := range s.sets {
-		for idx, ln := range set.lines {
-			if !ln.dirty {
-				delete(set.lines, idx)
-			}
-		}
+		set.invalidateClean()
 	}
 }
 
@@ -231,35 +298,31 @@ func (r Report) TotalCycles() uint64 {
 
 // Report captures current counters.
 func (s *Shield) Report() Report {
-	rep := Report{InitCycles: s.initExtra}
-	for _, set := range s.sets {
-		rep.Regions = append(rep.Regions, RegionStats{
-			Name:       set.cfg.Name,
-			Channel:    set.cfg.Channel,
-			Hits:       set.hits,
-			Misses:     set.misses,
-			Evictions:  set.evictions,
-			Writebacks: set.writebacks,
-			BusyCycles: set.busyCycles,
-			DRAMCycles: set.dramCycles,
-		})
+	s.mu.RLock()
+	sets, regs, initExtra := s.sets, s.regs, s.initExtra
+	s.mu.RUnlock()
+	rep := Report{InitCycles: initExtra}
+	for _, set := range sets {
+		rep.Regions = append(rep.Regions, set.stats())
 	}
-	if s.regs != nil {
-		rep.RegisterCycles = s.regs.cycles
+	if regs != nil {
+		rep.RegisterCycles = regs.cyclesSnapshot()
 	}
 	return rep
 }
 
 // ResetStats zeroes activity counters (keeps keys and buffer contents).
 func (s *Shield) ResetStats() {
-	for _, set := range s.sets {
-		set.busyCycles, set.dramCycles = 0, 0
-		set.hits, set.misses, set.evictions, set.writebacks = 0, 0, 0, 0
-	}
-	if s.regs != nil {
-		s.regs.cycles = 0
-	}
+	s.mu.Lock()
+	sets, regs := s.sets, s.regs
 	s.initExtra = 0
+	s.mu.Unlock()
+	for _, set := range sets {
+		set.resetStats()
+	}
+	if regs != nil {
+		regs.resetCycles()
+	}
 }
 
 // Config returns the Shield's configuration.
