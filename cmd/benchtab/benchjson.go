@@ -1,0 +1,187 @@
+package main
+
+// Benchmark-trajectory support: `benchtab -json` converts `go test -bench`
+// text output into a stable JSON document (the BENCH_pr.json artifact CI
+// publishes on every PR), and `benchtab -check` compares such a document
+// against the committed BENCH_baseline.json, failing when a headline
+// simulated-throughput metric regresses beyond the threshold.
+//
+// Only deterministic simulated metrics (the "sim-" family: sim-speedup-x,
+// sim-ops/sec-*, sim-stream-MiB/s) gate the build: they come from the
+// cycle model, so they are immune to CI host noise, while ns/op and host
+// ops/sec are recorded in the artifact for trend-watching only.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchDoc is the JSON document of one benchmark run.
+type BenchDoc struct {
+	GeneratedBy string       `json:"generated_by"`
+	Benchmarks  []BenchEntry `json:"benchmarks"`
+}
+
+// BenchEntry is one benchmark's parsed result line.
+type BenchEntry struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// parseBenchOutput converts `go test -bench` text into a BenchDoc. Lines
+// it does not recognise (logs, PASS/ok, goos headers) are skipped.
+func parseBenchOutput(r io.Reader) (*BenchDoc, error) {
+	doc := &BenchDoc{GeneratedBy: "benchtab -json"}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		// Strip the GOMAXPROCS suffix (BenchmarkFoo-8) so names are
+		// stable across runner shapes.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := BenchEntry{Name: name, Package: pkg, Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			e.Metrics[fields[i+1]] = v
+		}
+		doc.Benchmarks = append(doc.Benchmarks, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(doc.Benchmarks, func(i, j int) bool { return doc.Benchmarks[i].key() < doc.Benchmarks[j].key() })
+	return doc, nil
+}
+
+// key identifies a benchmark across documents: package-qualified, so
+// same-named benchmarks in different packages never collide.
+func (e BenchEntry) key() string { return e.Package + "." + e.Name }
+
+// emitJSON runs the -json mode: stdin bench text to stdout JSON.
+func emitJSON(r io.Reader, w io.Writer) error {
+	doc, err := parseBenchOutput(r)
+	if err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("benchtab -json: no benchmark lines found on stdin")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func loadBenchDoc(path string) (*BenchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc BenchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// gatedMetric reports whether a metric name participates in the
+// regression gate: deterministic simulated throughput, higher is better.
+func gatedMetric(name string) bool {
+	return strings.HasPrefix(name, "sim-")
+}
+
+// checkRegression compares pr against baseline. It returns the list of
+// human-readable regressions (empty means the gate passes) plus a report
+// of every gated comparison for the CI log.
+func checkRegression(baseline, pr *BenchDoc, threshold float64) (regressions, report []string) {
+	prByName := map[string]BenchEntry{}
+	for _, e := range pr.Benchmarks {
+		prByName[e.key()] = e
+	}
+	for _, base := range baseline.Benchmarks {
+		cur, ok := prByName[base.key()]
+		for metric, baseVal := range base.Metrics {
+			if !gatedMetric(metric) || baseVal <= 0 {
+				continue
+			}
+			if !ok {
+				regressions = append(regressions, fmt.Sprintf("%s: benchmark missing from PR run (baseline %s=%.3g)", base.key(), metric, baseVal))
+				break
+			}
+			curVal, have := cur.Metrics[metric]
+			if !have {
+				regressions = append(regressions, fmt.Sprintf("%s: metric %s missing from PR run (baseline %.3g)", base.Name, metric, baseVal))
+				continue
+			}
+			ratio := curVal / baseVal
+			line := fmt.Sprintf("%s %s: baseline %.3f, pr %.3f (%+.1f%%)", base.Name, metric, baseVal, curVal, (ratio-1)*100)
+			report = append(report, line)
+			if curVal < baseVal*(1-threshold) {
+				regressions = append(regressions, line+fmt.Sprintf(" — exceeds the %.0f%% regression budget", threshold*100))
+			}
+		}
+	}
+	sort.Strings(report)
+	sort.Strings(regressions)
+	return regressions, report
+}
+
+// runCheck runs the -check mode and returns the process exit code.
+func runCheck(baselinePath, prPath string, threshold float64, w io.Writer) int {
+	baseline, err := loadBenchDoc(baselinePath)
+	if err != nil {
+		fmt.Fprintf(w, "benchtab -check: %v\n", err)
+		return 2
+	}
+	pr, err := loadBenchDoc(prPath)
+	if err != nil {
+		fmt.Fprintf(w, "benchtab -check: %v\n", err)
+		return 2
+	}
+	regressions, report := checkRegression(baseline, pr, threshold)
+	fmt.Fprintf(w, "benchtab -check: %d gated metrics vs %s (budget %.0f%%)\n", len(report), baselinePath, threshold*100)
+	for _, line := range report {
+		fmt.Fprintln(w, "  ", line)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintln(w, "REGRESSIONS:")
+		for _, r := range regressions {
+			fmt.Fprintln(w, "  ", r)
+		}
+		return 1
+	}
+	fmt.Fprintln(w, "benchmark gate passed")
+	return 0
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: shef/internal/shield
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkStreamVsChunked/1MiB-8         	       1	  16770391 ns/op	  62.53 MB/s	         2.346 sim-speedup-x	      2892 sim-stream-MiB/s
+--- BENCH: BenchmarkStreamVsChunked/1MiB
+    stream_test.go:449: chunked 202752 cyc vs streamed 86436 cyc
+PASS
+ok  	shef/internal/shield	0.365s
+pkg: shef
+BenchmarkClusterThroughput-8 	       1	 33061913 ns/op	    331057 sim-ops/sec-4shard
+ok  	shef	1.2s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	doc, err := parseBenchOutput(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	byName := map[string]BenchEntry{}
+	for _, e := range doc.Benchmarks {
+		byName[e.Name] = e
+	}
+	st, ok := byName["BenchmarkStreamVsChunked/1MiB"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", byName)
+	}
+	if st.Package != "shef/internal/shield" {
+		t.Errorf("package = %q", st.Package)
+	}
+	if st.Metrics["sim-speedup-x"] != 2.346 || st.Metrics["ns/op"] != 16770391 {
+		t.Errorf("metrics = %v", st.Metrics)
+	}
+	if byName["BenchmarkClusterThroughput"].Metrics["sim-ops/sec-4shard"] != 331057 {
+		t.Error("cluster metric lost")
+	}
+}
+
+func TestCheckRegressionGate(t *testing.T) {
+	base := &BenchDoc{Benchmarks: []BenchEntry{
+		{Name: "A", Metrics: map[string]float64{"sim-speedup-x": 2.0, "ns/op": 100}},
+		{Name: "B", Metrics: map[string]float64{"sim-ops/sec-4shard": 1000}},
+	}}
+	// Within budget: 10% down on one gated metric, host noise ignored.
+	pr := &BenchDoc{Benchmarks: []BenchEntry{
+		{Name: "A", Metrics: map[string]float64{"sim-speedup-x": 1.8, "ns/op": 900}},
+		{Name: "B", Metrics: map[string]float64{"sim-ops/sec-4shard": 1500}},
+	}}
+	if regs, _ := checkRegression(base, pr, 0.20); len(regs) != 0 {
+		t.Fatalf("within-budget run flagged: %v", regs)
+	}
+	// Beyond budget: 30% down must fail.
+	pr.Benchmarks[0].Metrics["sim-speedup-x"] = 1.4
+	regs, _ := checkRegression(base, pr, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "sim-speedup-x") {
+		t.Fatalf("regression not flagged: %v", regs)
+	}
+	// A benchmark vanishing from the PR run is a regression too.
+	pr.Benchmarks = pr.Benchmarks[1:]
+	if regs, _ := checkRegression(base, pr, 0.20); len(regs) == 0 {
+		t.Fatal("missing benchmark not flagged")
+	}
+}

@@ -8,12 +8,18 @@
 //	benchtab -table 2 -scale paper
 //	benchtab -fig 6 -scale paper
 //	benchtab -boot
+//
+// CI modes for the benchmark trajectory:
+//
+//	go test -bench=. ./... | benchtab -json > BENCH_pr.json
+//	benchtab -check -baseline BENCH_baseline.json -pr BENCH_pr.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"shef/internal/experiments"
@@ -26,7 +32,22 @@ func main() {
 	cluster := flag.Bool("cluster", false, "run the SDP cluster throughput sweeps (ops/sec vs shards and goroutines)")
 	all := flag.Bool("all", false, "regenerate everything")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
+	jsonFlag := flag.Bool("json", false, "parse `go test -bench` output on stdin into JSON on stdout")
+	checkFlag := flag.Bool("check", false, "compare -pr against -baseline and fail on regressions")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline document for -check")
+	prPath := flag.String("pr", "BENCH_pr.json", "PR document for -check")
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression of gated metrics for -check")
 	flag.Parse()
+
+	if *jsonFlag {
+		if err := emitJSON(os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *checkFlag {
+		os.Exit(runCheck(*baselinePath, *prPath, *threshold, os.Stdout))
+	}
 
 	scale := experiments.Quick
 	if *scaleFlag == "paper" {

@@ -44,6 +44,12 @@ func main() {
 	pp := *platform.Options.Perf
 	fmt.Printf("shielded run: %d cycles (%.2f ms at %.0f MHz)\n",
 		res.Cycles, 1000*res.Seconds(pp), pp.ClockHz/1e6)
+	var streamed, windows uint64
+	for _, r := range res.Report.Regions {
+		streamed += r.Streamed
+		windows += r.StreamWindows
+	}
+	fmt.Printf("streamed data path: %d chunks in %d pipeline windows\n", streamed, windows)
 
 	// Compare with the unshielded baseline (same accelerator, no Shield).
 	w, _ := accel.New("vecadd", map[string]string{"bytes": "1048576"})

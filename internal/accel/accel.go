@@ -35,6 +35,21 @@ type Ctx struct {
 // Compute overlaps memory traffic: the harness takes the max.
 func (c *Ctx) Compute(cycles uint64) { c.computeCycles += cycles }
 
+// ReadStream reads a bulk transfer through the port's pipelined streaming
+// path when it has one (the Shield's burst engine, the bare cache's
+// batched fetch), falling back to a plain burst otherwise. Workloads use
+// it for multi-chunk sequential transfers.
+func (c *Ctx) ReadStream(addr uint64, buf []byte) error {
+	_, err := axi.ReadAuto(c.Mem, addr, buf)
+	return err
+}
+
+// WriteStream writes a bulk transfer through the port's streaming path.
+func (c *Ctx) WriteStream(addr uint64, data []byte) error {
+	_, err := axi.WriteAuto(c.Mem, addr, data)
+	return err
+}
+
 // ComputeCycles reports accumulated datapath time.
 func (c *Ctx) ComputeCycles() uint64 { return c.computeCycles }
 

@@ -134,7 +134,8 @@ func (a *Affine) Run(ctx *Ctx) error {
 		ctx.Compute(uint64(a.Dim))
 		off := y * a.Dim * 4
 		p := off / outPart
-		if _, err := ctx.Mem.WriteBurst(afOutBase+uint64(p*outPart+off%outPart), rowOut); err != nil {
+		// Output rows are write-once and sequential: stream them.
+		if err := ctx.WriteStream(afOutBase+uint64(p*outPart+off%outPart), rowOut); err != nil {
 			return err
 		}
 	}

@@ -118,8 +118,9 @@ func (c *Conv) partSize(total, parts int) int {
 }
 
 // Run streams the convolution: for each batch image and output channel
-// block, read input tiles and weights through the port, MAC, and stream
-// the output. Values use wraparound int32 arithmetic (hardware-exact).
+// block, read input tiles and weights through the port's pipelined
+// streaming path, MAC, and stream the output rows back. Values use
+// wraparound int32 arithmetic (hardware-exact).
 func (c *Conv) Run(ctx *Ctx) error {
 	pad := c.K / 2
 	// Load weights once per image block (streamed, buffered by the Shield).
@@ -135,7 +136,7 @@ func (c *Conv) Run(ctx *Ctx) error {
 		if n <= 0 {
 			break
 		}
-		if _, err := ctx.Mem.ReadBurst(convWBase+uint64(p*wPart), weights[lo:lo+n]); err != nil {
+		if err := ctx.ReadStream(convWBase+uint64(p*wPart), weights[lo:lo+n]); err != nil {
 			return err
 		}
 	}
@@ -160,7 +161,7 @@ func (c *Conv) Run(ctx *Ctx) error {
 				if n > len(row)-done {
 					n = len(row) - done
 				}
-				if _, err := ctx.Mem.ReadBurst(convInBase+uint64(p*inPart+inOff), row[done:done+n]); err != nil {
+				if err := ctx.ReadStream(convInBase+uint64(p*inPart+inOff), row[done:done+n]); err != nil {
 					return err
 				}
 				done += n
@@ -219,7 +220,7 @@ func (c *Conv) Run(ctx *Ctx) error {
 		pad := make([]byte, padded-total)
 		p := total / c.partSize(total, convOutSets)
 		inOff := total % c.partSize(total, convOutSets)
-		if _, err := ctx.Mem.WriteBurst(convOutBase+uint64(p*c.partSize(total, convOutSets)+inOff), pad); err != nil {
+		if err := ctx.WriteStream(convOutBase+uint64(p*c.partSize(total, convOutSets)+inOff), pad); err != nil {
 			return err
 		}
 	}
@@ -238,7 +239,7 @@ func (c *Conv) writeOutRow(ctx *Ctx, b, y int, row []byte) error {
 		if n > len(row)-done {
 			n = len(row) - done
 		}
-		if _, err := ctx.Mem.WriteBurst(convOutBase+uint64(p*outPart+inOff), row[done:done+n]); err != nil {
+		if err := ctx.WriteStream(convOutBase+uint64(p*outPart+inOff), row[done:done+n]); err != nil {
 			return err
 		}
 		done += n

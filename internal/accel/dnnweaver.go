@@ -140,13 +140,11 @@ func (d *DNNWeaver) actBase(b, l int) uint64 {
 // Run performs batched inference: weights stream through their engine set
 // per layer; activations are read and written in the feature-map region.
 func (d *DNNWeaver) Run(ctx *Ctx) error {
-	// Stream all weights once (buffered by the weight engine set's cache
-	// in 4 KB chunks as the layers consume them).
+	// Stream all weights once through the pipelined burst engine (the
+	// 4 KB-chunk engine set fetches, decrypts, and verifies in windows).
 	weights := make([]byte, d.weightBytes())
-	for off := 0; off < len(weights); off += dwWChunk {
-		if _, err := ctx.Mem.ReadBurst(dwWBase+uint64(off), weights[off:off+dwWChunk]); err != nil {
-			return err
-		}
+	if err := ctx.ReadStream(dwWBase, weights); err != nil {
+		return err
 	}
 	wOff := make([]int, len(d.Dims))
 	{
@@ -162,6 +160,9 @@ func (d *DNNWeaver) Run(ctx *Ctx) error {
 		for l := 0; l+1 < len(d.Dims); l++ {
 			nin, nout := d.Dims[l], d.Dims[l+1]
 			in := make([]byte, nin*4)
+			// Activations stay on the chunked path: they are the "small
+			// random reads and writes" case, served by the 64 KB buffer,
+			// and write-through streaming would defeat that cache.
 			if _, err := ctx.Mem.ReadBurst(d.actBase(b, l), in); err != nil {
 				return err
 			}
@@ -190,7 +191,7 @@ func (d *DNNWeaver) Run(ctx *Ctx) error {
 		}
 		copy(outAll[b*outPer:], last)
 	}
-	if _, err := ctx.Mem.WriteBurst(dwOutBase, outAll); err != nil {
+	if err := ctx.WriteStream(dwOutBase, outAll); err != nil {
 		return err
 	}
 	return nil

@@ -104,6 +104,13 @@ func (m *MatMul) readRow(ctx *Ctx, base uint64, row int, buf []byte) error {
 	return err
 }
 
+// streamRow reads a row through the pipelined streaming path: right for
+// the moving operand (A, read once), wrong for the stationary operand (B,
+// whose rows live in the on-chip buffer and must stay cached).
+func (m *MatMul) streamRow(ctx *Ctx, base uint64, row int, buf []byte) error {
+	return ctx.ReadStream(base+uint64(row*m.N*4), buf)
+}
+
 // Run performs blocked matrix multiply: for each row of A, stream the row,
 // then stream B column blocks. B is accessed row-wise per k to stay
 // burst-friendly (the classic ikj loop).
@@ -114,7 +121,7 @@ func (m *MatMul) Run(ctx *Ctx) error {
 	acc := make([]uint32, n)
 	out := make([]byte, n*4)
 	for i := 0; i < n; i++ {
-		if err := m.readRow(ctx, mmABase, i, rowA); err != nil {
+		if err := m.streamRow(ctx, mmABase, i, rowA); err != nil {
 			return err
 		}
 		for k := range acc {
@@ -134,7 +141,7 @@ func (m *MatMul) Run(ctx *Ctx) error {
 		for j := 0; j < n; j++ {
 			binary.LittleEndian.PutUint32(out[j*4:], acc[j])
 		}
-		if _, err := ctx.Mem.WriteBurst(mmOutBase+uint64(i*n*4), out); err != nil {
+		if err := ctx.WriteStream(mmOutBase+uint64(i*n*4), out); err != nil {
 			return err
 		}
 	}

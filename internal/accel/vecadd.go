@@ -90,29 +90,41 @@ func (v *VecAdd) Inputs(rng *rand.Rand) map[string][]byte {
 	return out
 }
 
-// Run streams the addition partition by partition, chunk by chunk.
+// vecStrip is the streaming granularity: a multi-chunk strip moves
+// through the port's pipelined burst engine per transfer. Long strips
+// amortise the pipeline fill/drain across many windows, keeping the
+// engine sets in steady state.
+const vecStrip = 256 * vecChunk
+
+// Run streams the addition partition by partition in multi-chunk strips:
+// each strip of A and B rides the pipelined read path, the ALU adds, and
+// the sum strip rides the pipelined write path.
 func (v *VecAdd) Run(ctx *Ctx) error {
-	bufA := make([]byte, vecChunk)
-	bufB := make([]byte, vecChunk)
-	bufO := make([]byte, vecChunk)
+	bufA := make([]byte, vecStrip)
+	bufB := make([]byte, vecStrip)
+	bufO := make([]byte, vecStrip)
 	for p := 0; p < vecParts; p++ {
 		aBase := uint64(vecABase + p*v.part())
 		bBase := uint64(vecBBase + p*v.part())
 		oBase := uint64(vecOutBase + p*v.part())
-		for off := 0; off < v.part(); off += vecChunk {
-			if _, err := ctx.Mem.ReadBurst(aBase+uint64(off), bufA); err != nil {
+		for off := 0; off < v.part(); off += vecStrip {
+			n := v.part() - off
+			if n > vecStrip {
+				n = vecStrip
+			}
+			if err := ctx.ReadStream(aBase+uint64(off), bufA[:n]); err != nil {
 				return err
 			}
-			if _, err := ctx.Mem.ReadBurst(bBase+uint64(off), bufB); err != nil {
+			if err := ctx.ReadStream(bBase+uint64(off), bufB[:n]); err != nil {
 				return err
 			}
-			for i := 0; i < vecChunk; i += 4 {
+			for i := 0; i < n; i += 4 {
 				s := binary.LittleEndian.Uint32(bufA[i:]) + binary.LittleEndian.Uint32(bufB[i:])
 				binary.LittleEndian.PutUint32(bufO[i:], s)
 			}
 			// Wide vector ALU: one cycle per 64-byte beat.
-			ctx.Compute(uint64(vecChunk / 64))
-			if _, err := ctx.Mem.WriteBurst(oBase+uint64(off), bufO); err != nil {
+			ctx.Compute(uint64(n / 64))
+			if err := ctx.WriteStream(oBase+uint64(off), bufO[:n]); err != nil {
 				return err
 			}
 		}

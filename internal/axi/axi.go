@@ -26,6 +26,113 @@ type RegisterPort interface {
 	WriteReg(index int, value uint64) (cycles uint64, err error)
 }
 
+// Streamer is an optional MemoryPort extension for bulk multi-chunk
+// transfers: implementations pipeline the burst (batched fetch, engine
+// fan-out, overlapped stages) instead of serving it beat by beat. The
+// Shield's streaming data path implements it; plain DRAM does not need to.
+type Streamer interface {
+	ReadStream(addr uint64, buf []byte) (cycles uint64, err error)
+	WriteStream(addr uint64, data []byte) (cycles uint64, err error)
+}
+
+// StreamWindows drives one streamed transfer of n bytes at addr inside a
+// region whose chunks are chunkSize bytes and start chunk-aligned at
+// base: an unaligned head and tail go through fallback (the chunked
+// path), and the chunk-aligned middle is processed in windows of up to
+// windowChunks chunks. fallback and window receive the absolute address
+// plus the [lo, hi) byte range of the caller's buffer; window's first
+// flag marks the first window of the stream (pipeline fill accounting).
+// Returns the summed cycle counts.
+func StreamWindows(base, addr uint64, n, chunkSize, windowChunks int,
+	fallback func(addr uint64, lo, hi int) (uint64, error),
+	window func(addr uint64, lo, hi int, first bool) (uint64, error)) (uint64, error) {
+
+	head := 0
+	if r := int((addr - base) % uint64(chunkSize)); r != 0 {
+		head = chunkSize - r
+		if head > n {
+			head = n
+		}
+	}
+	mid := (n - head) / chunkSize * chunkSize
+	var total uint64
+	if head > 0 {
+		c, err := fallback(addr, 0, head)
+		total += c
+		if err != nil {
+			return total, err
+		}
+	}
+	windowBytes := windowChunks * chunkSize
+	done := head
+	for first := true; done < head+mid; first = false {
+		w := head + mid - done
+		if w > windowBytes {
+			w = windowBytes
+		}
+		c, err := window(addr+uint64(done), done, done+w, first)
+		total += c
+		if err != nil {
+			return total, err
+		}
+		done += w
+	}
+	if done < n {
+		c, err := fallback(addr+uint64(done), done, n)
+		total += c
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ForEachRun groups ascending indices into maximal contiguous runs and
+// invokes fn(i0, n) for each run of n consecutive indices starting at
+// i0. Streaming ports use it to coalesce chunk fetches into batched
+// transactions.
+func ForEachRun(idx []int, fn func(i0, n int) error) error {
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && idx[j+1] == idx[j]+1 {
+			j++
+		}
+		if err := fn(idx[i], j-i+1); err != nil {
+			return err
+		}
+		i = j + 1
+	}
+	return nil
+}
+
+// BurstsFor is the number of AXI transactions a transfer of n bytes
+// legalises into (MaxBurstBytes each): batched streams pay the request
+// latency once per legal burst, not once per chunk.
+func BurstsFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + MaxBurstBytes - 1) / MaxBurstBytes
+}
+
+// ReadAuto reads through the port's streaming path when it has one,
+// falling back to a plain burst. Accelerators use it for bulk transfers
+// so the same code runs shielded (pipelined) and bare.
+func ReadAuto(p MemoryPort, addr uint64, buf []byte) (uint64, error) {
+	if st, ok := p.(Streamer); ok {
+		return st.ReadStream(addr, buf)
+	}
+	return p.ReadBurst(addr, buf)
+}
+
+// WriteAuto writes through the port's streaming path when it has one.
+func WriteAuto(p MemoryPort, addr uint64, data []byte) (uint64, error) {
+	if st, ok := p.(Streamer); ok {
+		return st.WriteStream(addr, data)
+	}
+	return p.WriteBurst(addr, data)
+}
+
 // MaxBurstBytes is the largest legal AXI4 burst (256 beats of 64 bytes).
 const MaxBurstBytes = 256 * 64
 

@@ -64,3 +64,49 @@ func TestCheckedPort(t *testing.T) {
 		t.Fatal("in-window read rejected")
 	}
 }
+
+// streamSpy wraps a MemoryPort and records whether the streaming path ran.
+type streamSpy struct {
+	MemoryPort
+	streamed bool
+}
+
+func (s *streamSpy) ReadStream(addr uint64, buf []byte) (uint64, error) {
+	s.streamed = true
+	return s.MemoryPort.ReadBurst(addr, buf)
+}
+
+func (s *streamSpy) WriteStream(addr uint64, data []byte) (uint64, error) {
+	s.streamed = true
+	return s.MemoryPort.WriteBurst(addr, data)
+}
+
+func TestReadWriteAutoDispatch(t *testing.T) {
+	d := mem.NewDRAM(1<<20, perf.Default())
+	// Plain port: falls back to bursts.
+	if _, err := WriteAuto(d, 0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := ReadAuto(d, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 || buf[2] != 3 {
+		t.Fatal("fallback roundtrip lost data")
+	}
+	// Streaming port: dispatches to the streamer.
+	spy := &streamSpy{MemoryPort: d}
+	if _, err := WriteAuto(spy, 0, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if !spy.streamed {
+		t.Fatal("WriteAuto ignored the streaming path")
+	}
+	spy.streamed = false
+	if _, err := ReadAuto(spy, 0, buf[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if !spy.streamed {
+		t.Fatal("ReadAuto ignored the streaming path")
+	}
+}

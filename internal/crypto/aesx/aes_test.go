@@ -216,3 +216,29 @@ func TestTTableMatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCTRStreamMatchesCTR checks the reusable-state stream path against
+// the one-shot CTR across consecutive chunk IVs, as the Shield's window
+// pipeline drives it.
+func TestCTRStreamMatchesCTR(t *testing.T) {
+	key := bytes.Repeat([]byte{0x3C}, 16)
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st CTRStream
+	src := make([]byte, 1000)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	for chunk := uint32(0); chunk < 8; chunk++ {
+		iv := ChunkIV(3, chunk, chunk%2)
+		want := make([]byte, len(src))
+		got := make([]byte, len(src))
+		CTR(c, iv, want, src)
+		st.XORKeyStream(c, iv, got, src)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d: stream state diverged from one-shot CTR", chunk)
+		}
+	}
+}

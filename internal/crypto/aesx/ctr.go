@@ -11,20 +11,37 @@ const IVSize = 12
 // 12-byte IV. The counter block is IV || big-endian 32-bit block counter
 // starting at 0. dst and src may alias. The operation is its own inverse.
 func CTR(c *Cipher, iv [IVSize]byte, dst, src []byte) {
+	var st CTRStream
+	st.XORKeyStream(c, iv, dst, src)
+}
+
+// CTRStream holds the counter-block and keystream scratch of a CTR pass
+// as addressable state, so the Shield's seal scratch pool can check one
+// out per in-flight chunk and drive a window's consecutive chunks
+// through it. The counter block is rebuilt from the IV on every call
+// (each chunk has its own IV); what persists across calls is only the
+// scratch storage.
+type CTRStream struct {
+	ctrBlock [BlockSize]byte
+	ks       [BlockSize]byte
+}
+
+// XORKeyStream encrypts or decrypts src into dst under iv, using the
+// stream's scratch. Semantics match CTR; dst and src may alias.
+func (st *CTRStream) XORKeyStream(c *Cipher, iv [IVSize]byte, dst, src []byte) {
 	if len(dst) < len(src) {
 		panic("aesx: CTR destination shorter than source")
 	}
-	var ctrBlock, ks [BlockSize]byte
-	copy(ctrBlock[:], iv[:])
+	copy(st.ctrBlock[:], iv[:])
 	for off, ctr := 0, uint32(0); off < len(src); off, ctr = off+BlockSize, ctr+1 {
-		binary.BigEndian.PutUint32(ctrBlock[IVSize:], ctr)
-		c.EncryptBlock(ks[:], ctrBlock[:])
+		binary.BigEndian.PutUint32(st.ctrBlock[IVSize:], ctr)
+		c.EncryptBlock(st.ks[:], st.ctrBlock[:])
 		n := len(src) - off
 		if n > BlockSize {
 			n = BlockSize
 		}
 		for i := 0; i < n; i++ {
-			dst[off+i] = src[off+i] ^ ks[i]
+			dst[off+i] = src[off+i] ^ st.ks[i]
 		}
 	}
 }

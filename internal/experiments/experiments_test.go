@@ -104,7 +104,7 @@ func TestMatMulLessPronounced(t *testing.T) {
 var figure6Bands = map[string][2]float64{
 	"conv":      {1.05, 2.10}, // paper: 1.20-1.35
 	"digitrec":  {1.70, 4.50}, // paper: 1.85-3.15
-	"affine":    {1.20, 1.80}, // paper: 1.41-2.22
+	"affine":    {1.20, 1.95}, // paper: 1.41-2.22 (streamed output rows cheapen the bare baseline, raising relative overhead)
 	"dnnweaver": {2.70, 4.30}, // paper: 3.20-3.83 (HMAC bars)
 	"bitcoin":   {0.99, 1.10}, // paper: ~1.0
 }

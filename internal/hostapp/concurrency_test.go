@@ -152,3 +152,34 @@ func TestAccelVariantsStillRegistered(t *testing.T) {
 		}
 	}
 }
+
+// TestPoolRunsUseStreamingDataPath asserts the serving tier's workloads
+// actually ride the Shield's pipelined burst engine: a pooled vecadd run
+// must report streamed chunks and stream windows in every vector region.
+func TestPoolRunsUseStreamingDataPath(t *testing.T) {
+	pool, err := NewPool(Options{
+		Design: "vecadd",
+		Params: map[string]string{"bytes": "65536"},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pool.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Regions) == 0 {
+		t.Fatal("no region report")
+	}
+	var streamed, windows uint64
+	for _, r := range res.Report.Regions {
+		streamed += r.Streamed
+		windows += r.StreamWindows
+	}
+	if streamed == 0 || windows == 0 {
+		t.Fatalf("pool run moved no streamed chunks (streamed=%d windows=%d)", streamed, windows)
+	}
+	if windows >= streamed {
+		t.Fatalf("windows (%d) should batch multiple chunks (%d)", windows, streamed)
+	}
+}

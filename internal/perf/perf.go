@@ -93,6 +93,39 @@ func (p Params) ChunkTime(dram, crypto uint64) uint64 {
 	return hi + uint64(p.OverlapAlpha*float64(lo))
 }
 
+// StreamWindowTime is the steady-state busy time of one window of a
+// streamed burst (the paper's §5.2.2 pipelining claim made explicit):
+// with windows in flight back to back, the DRAM fetch of window k+1, the
+// engine pool's work, and the serial MAC core all overlap, so a window is
+// paced by its slowest stage rather than their sum. Contrast ChunkTime,
+// where the Shield holds a single outstanding burst and releases data only
+// after the MAC check, leaving only partial (OverlapAlpha) overlap.
+func (p Params) StreamWindowTime(stages ...uint64) uint64 {
+	var hi uint64
+	for _, s := range stages {
+		if s > hi {
+			hi = s
+		}
+	}
+	return hi
+}
+
+// StreamFillDrain is the one-time cost of priming and draining the stream
+// pipeline: before the first window is resident the stages run
+// back-to-back, so a stream is charged sum(stages) once and
+// max(stages) for every window thereafter — the "max(dram, crypto) +
+// fill/drain" composition.
+func (p Params) StreamFillDrain(stages ...uint64) uint64 {
+	var hi, sum uint64
+	for _, s := range stages {
+		if s > hi {
+			hi = s
+		}
+		sum += s
+	}
+	return sum - hi
+}
+
 // Seconds converts cycles to wall-clock seconds at the configured clock.
 func (p Params) Seconds(cycles uint64) float64 {
 	return float64(cycles) / p.ClockHz

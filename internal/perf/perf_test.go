@@ -79,3 +79,31 @@ func TestClock(t *testing.T) {
 		t.Error("reset failed")
 	}
 }
+
+func TestStreamWindowTimePacedBySlowestStage(t *testing.T) {
+	p := Default()
+	if got := p.StreamWindowTime(100, 700, 300, 50); got != 700 {
+		t.Errorf("StreamWindowTime = %d, want 700 (slowest stage)", got)
+	}
+	if got := p.StreamWindowTime(); got != 0 {
+		t.Errorf("empty window = %d, want 0", got)
+	}
+}
+
+func TestStreamFillDrainIsNonBottleneckSum(t *testing.T) {
+	p := Default()
+	if got := p.StreamFillDrain(100, 700, 300, 50); got != 450 {
+		t.Errorf("StreamFillDrain = %d, want 450 (sum minus bottleneck)", got)
+	}
+	// A uniform stream of n windows composes to n*max + fill/drain, always
+	// at most the fully serial sum and at least the bottleneck alone.
+	n := uint64(10)
+	a, b := uint64(600), uint64(400)
+	total := n*p.StreamWindowTime(a, b) + p.StreamFillDrain(a, b)
+	if total >= n*(a+b) {
+		t.Errorf("pipelined total %d not better than serial %d", total, n*(a+b))
+	}
+	if total < n*a {
+		t.Errorf("pipelined total %d beats the bottleneck stage %d", total, n*a)
+	}
+}

@@ -193,3 +193,42 @@ func TestClusterConcurrentMixedUsers(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// BenchmarkClusterPutGet drives concurrent Put/Get pairs through a
+// four-shard cluster — the storage-tier hot path, with the deterministic
+// simulated throughput (ops over the busiest shard's cycles) as the
+// CI-gated metric.
+func BenchmarkClusterPutGet(b *testing.B) {
+	c, err := NewCluster(clusterConfig(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.RegisterUser("alice", []byte("alice-key")); err != nil {
+		b.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 4096)
+	c.ResetStats()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			name := fmt.Sprintf("bench-%d", i%32)
+			if err := c.Put("alice", name, payload); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := c.Get("alice", name); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	st := c.Stats()
+	ops := st.Puts + st.Gets
+	if st.MaxBusy > 0 {
+		simSec := float64(st.MaxBusy) / 250e6
+		b.ReportMetric(float64(ops)/simSec, "sim-ops/sec")
+	}
+}

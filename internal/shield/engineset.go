@@ -60,10 +60,17 @@ type engineSet struct {
 	// when a re-provisioning replaces the set.
 	ocmBytes int
 
+	// linePool recycles buffer lines so the chunked hot path allocates
+	// nothing in steady state; windows holds the streaming path's batched
+	// ciphertext/tag staging buffers for the same reason.
+	linePool sync.Pool
+	windows  sync.Pool
+
 	// Performance accounting.
 	busyCycles                          uint64 // accumulated engine-set busy time (chunk pipeline)
 	dramCycles                          uint64 // this set's share of DRAM bus time
 	hits, misses, evictions, writebacks uint64
+	streamed, streamWindows             uint64 // chunks moved / windows issued by the stream path
 
 	// integrityErr latches the first authentication failure; the Shield
 	// refuses further service afterwards, modelling the hardware fault
@@ -97,6 +104,15 @@ func newEngineSet(cfg RegionConfig, regionID uint32, dek []byte, tagBase uint64,
 		port:     port,
 		lines:    make(map[int]*bufLine),
 		capacity: cfg.bufferLines(),
+	}
+	s.linePool.New = func() any {
+		return &bufLine{data: make([]byte, cfg.ChunkSize)}
+	}
+	s.windows.New = func() any {
+		return &streamWindow{
+			ct:   make([]byte, streamWindowChunks*cfg.ChunkSize),
+			tags: make([]byte, streamWindowChunks*TagSize),
+		}
 	}
 	// Charge on-chip memory: the buffer, counters, and valid bits.
 	alloc := func(n int, what string) error {
@@ -134,25 +150,45 @@ func (s *engineSet) releaseOCM(ocm *mem.OCM) {
 	}
 }
 
+// ctrBlocksPerChunk is the number of AES-CTR keystream blocks per chunk.
+func (s *engineSet) ctrBlocksPerChunk() int {
+	return (s.cfg.ChunkSize + aesx.BlockSize - 1) / aesx.BlockSize
+}
+
+// pmacBlocksPerChunk is the number of PMAC block computations per chunk
+// (one per data block plus the tag block), all served by the AES pool.
+func (s *engineSet) pmacBlocksPerChunk() int {
+	return s.ctrBlocksPerChunk() + 1
+}
+
+// poolCycles is the AES engine pool's time to serve n blocks: waves of
+// AESEngines blocks each at the engine's per-block latency.
+func (s *engineSet) poolCycles(blocks int) uint64 {
+	waves := uint64((blocks + s.cfg.AESEngines - 1) / s.cfg.AESEngines)
+	return waves * s.seal.engine.CyclesPerBlock()
+}
+
+// hmacCyclesPerChunk is the serial HMAC core's time for one chunk: ipad
+// block + message blocks + outer pass, one strictly serial stream.
+func (s *engineSet) hmacCyclesPerChunk() uint64 {
+	return uint64(3+(s.cfg.ChunkSize+sha256x.BlockSize-1)/sha256x.BlockSize) * hmacEngineCyclesPerBlock
+}
+
 // cryptoCycles is the engine-set crypto time for one chunk transfer. The
 // AES pool serves the CTR blocks plus, under PMAC, the MAC blocks; an HMAC
 // engine runs serially in parallel with decryption ("the engine set
 // decrypts and authenticates the returned ciphertext in parallel",
 // paper §5.2.2).
 func (s *engineSet) cryptoCycles() uint64 {
-	ctrBlocks := (s.cfg.ChunkSize + aesx.BlockSize - 1) / aesx.BlockSize
-	aesBlocks := ctrBlocks
+	aesBlocks := s.ctrBlocksPerChunk()
 	if s.cfg.MAC == PMAC {
-		aesBlocks += ctrBlocks + 1 // PMAC block per data block + tag block
+		aesBlocks += s.pmacBlocksPerChunk()
 	}
-	waves := uint64((aesBlocks + s.cfg.AESEngines - 1) / s.cfg.AESEngines)
-	aesCycles := waves * s.seal.engine.CyclesPerBlock()
+	aesCycles := s.poolCycles(aesBlocks)
 	if s.cfg.MAC == PMAC {
 		return aesCycles
 	}
-	// HMAC: ipad block + message blocks + outer pass, one serial core.
-	hmacCycles := uint64(3+(s.cfg.ChunkSize+sha256x.BlockSize-1)/sha256x.BlockSize) * hmacEngineCyclesPerBlock
-	if hmacCycles > aesCycles {
+	if hmacCycles := s.hmacCyclesPerChunk(); hmacCycles > aesCycles {
 		return hmacCycles
 	}
 	return aesCycles
@@ -202,32 +238,39 @@ func (s *engineSet) load(chunk int, fill bool) (*bufLine, error) {
 	if err := s.evictIfFull(); err != nil {
 		return nil, err
 	}
-	ln := &bufLine{data: make([]byte, s.cfg.ChunkSize)}
+	ln := s.linePool.Get().(*bufLine)
+	ln.dirty = false
 	if fill && !s.initialized[chunk] {
 		fill = false // virgin chunk: serve zeros from on-chip valid bits
 	}
 	if fill {
 		dataAddr, tagAddr := s.dramAddrs(chunk)
-		ct := make([]byte, s.cfg.ChunkSize)
+		win := s.windows.Get().(*streamWindow)
+		ct := win.ct[:s.cfg.ChunkSize]
 		if _, err := s.port.ReadBurst(dataAddr, ct); err != nil {
+			s.windows.Put(win)
+			s.linePool.Put(ln)
 			return nil, err
 		}
-		tagBuf := make([]byte, TagSize)
-		if _, err := s.port.ReadBurst(tagAddr, tagBuf); err != nil {
+		if _, err := s.port.ReadBurst(tagAddr, win.tags[:TagSize]); err != nil {
+			s.windows.Put(win)
+			s.linePool.Put(ln)
 			return nil, err
 		}
 		var tag [TagSize]byte
-		copy(tag[:], tagBuf)
-		plain, err := s.seal.openChunk(chunk, s.counters[chunk], ct, tag)
+		copy(tag[:], win.tags[:TagSize])
+		err := s.seal.openChunkInto(ln.data, chunk, s.counters[chunk], ct, tag)
+		s.windows.Put(win)
 		if err != nil {
+			s.linePool.Put(ln)
 			s.integrityErr = err
 			return nil, err
 		}
-		ln.data = plain
 		s.chargeChunk()
 		s.misses++
 	} else {
 		// Zero-filled line: no DRAM traffic, only issue cost.
+		clear(ln.data)
 		s.busyCycles += s.params.ChunkIssueCycles
 		s.misses++
 	}
@@ -254,6 +297,7 @@ func (s *engineSet) evictIfFull() error {
 	if err := s.writeback(victim); err != nil {
 		return err
 	}
+	s.linePool.Put(s.lines[victim])
 	delete(s.lines, victim)
 	s.evictions++
 	return nil
@@ -354,6 +398,7 @@ func (s *engineSet) invalidateClean() {
 	defer s.mu.Unlock()
 	for idx, ln := range s.lines {
 		if !ln.dirty {
+			s.linePool.Put(ln)
 			delete(s.lines, idx)
 		}
 	}
@@ -364,14 +409,16 @@ func (s *engineSet) stats() RegionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return RegionStats{
-		Name:       s.cfg.Name,
-		Channel:    s.cfg.Channel,
-		Hits:       s.hits,
-		Misses:     s.misses,
-		Evictions:  s.evictions,
-		Writebacks: s.writebacks,
-		BusyCycles: s.busyCycles,
-		DRAMCycles: s.dramCycles,
+		Name:          s.cfg.Name,
+		Channel:       s.cfg.Channel,
+		Hits:          s.hits,
+		Misses:        s.misses,
+		Evictions:     s.evictions,
+		Writebacks:    s.writebacks,
+		Streamed:      s.streamed,
+		StreamWindows: s.streamWindows,
+		BusyCycles:    s.busyCycles,
+		DRAMCycles:    s.dramCycles,
 	}
 }
 
@@ -381,6 +428,7 @@ func (s *engineSet) resetStats() {
 	defer s.mu.Unlock()
 	s.busyCycles, s.dramCycles = 0, 0
 	s.hits, s.misses, s.evictions, s.writebacks = 0, 0, 0, 0
+	s.streamed, s.streamWindows = 0, 0
 }
 
 // markPreloaded sets every valid bit (host DMAed sealed data into DRAM).

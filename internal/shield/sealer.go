@@ -3,6 +3,7 @@ package shield
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"shef/internal/crypto/aesx"
 	"shef/internal/crypto/hmacx"
@@ -21,6 +22,18 @@ type sealer struct {
 	engine   *aesx.Engine
 	macKey   []byte
 	pmac     *pmacx.MAC
+
+	// scratch pools the per-chunk working state (MAC message buffer and
+	// CTR counter-block/keystream state) so the streamed data path is
+	// allocation-free and safe for the engine pool's goroutine fan-out:
+	// each in-flight chunk checks out its own scratch.
+	scratch sync.Pool
+}
+
+// sealScratch is one in-flight chunk's working state.
+type sealScratch struct {
+	msg []byte
+	ctr aesx.CTRStream
 }
 
 func newSealer(cfg RegionConfig, regionID uint32, dek []byte) (*sealer, error) {
@@ -31,6 +44,9 @@ func newSealer(cfg RegionConfig, regionID uint32, dek []byte) (*sealer, error) {
 		return nil, fmt.Errorf("shield: region %q: %w", cfg.Name, err)
 	}
 	s := &sealer{cfg: cfg, regionID: regionID, engine: eng, macKey: macKey}
+	s.scratch.New = func() any {
+		return &sealScratch{msg: make([]byte, 0, 12+cfg.ChunkSize)}
+	}
 	if cfg.MAC == PMAC {
 		pm, err := pmacx.New(macKey[:16])
 		if err != nil {
@@ -51,17 +67,18 @@ func (s *sealer) iv(chunk int, counter uint32) [aesx.IVSize]byte {
 	return aesx.ChunkIV(s.regionID, uint32(chunk), version)
 }
 
-// macInput assembles the authenticated message: region || chunk index ||
-// counter (if fresh) || ciphertext. Binding the address defeats splicing;
-// binding the counter defeats replay (paper §5.2.1-5.2.2).
-func (s *sealer) macInput(chunk int, counter uint32, ct []byte) []byte {
-	hdr := make([]byte, 12, 12+len(ct))
+// macInputInto assembles the authenticated message into dst[:0]: region ||
+// chunk index || counter (if fresh) || ciphertext. Binding the address
+// defeats splicing; binding the counter defeats replay (paper
+// §5.2.1-5.2.2).
+func (s *sealer) macInputInto(dst []byte, chunk int, counter uint32, ct []byte) []byte {
+	var hdr [12]byte
 	be32(hdr[0:], s.regionID)
 	be32(hdr[4:], uint32(chunk))
 	if s.cfg.Freshness {
 		be32(hdr[8:], counter)
 	}
-	return append(hdr, ct...)
+	return append(append(dst, hdr[:]...), ct...)
 }
 
 func be32(b []byte, v uint32) {
@@ -74,31 +91,55 @@ func be32(b []byte, v uint32) {
 // sealChunk encrypts plaintext and computes its tag for a write epoch.
 func (s *sealer) sealChunk(chunk int, counter uint32, plain []byte) (ct []byte, tag [TagSize]byte) {
 	ct = make([]byte, len(plain))
-	aesx.CTR(s.engine.Cipher(), s.iv(chunk, counter), ct, plain)
-	msg := s.macInput(chunk, counter, ct)
-	if s.cfg.MAC == PMAC {
-		tag = s.pmac.Sum(msg)
-	} else {
-		tag = hmacx.Tag(s.macKey, msg)
-	}
+	s.sealChunkInto(ct, &tag, chunk, counter, plain)
 	return ct, tag
+}
+
+// sealChunkInto encrypts plain into ct (same length) and writes the tag,
+// using pooled scratch. Safe for concurrent use: the streamed write path
+// fans consecutive chunks out across the engine pool.
+func (s *sealer) sealChunkInto(ct []byte, tag *[TagSize]byte, chunk int, counter uint32, plain []byte) {
+	sc := s.scratch.Get().(*sealScratch)
+	sc.ctr.XORKeyStream(s.engine.Cipher(), s.iv(chunk, counter), ct, plain)
+	msg := s.macInputInto(sc.msg[:0], chunk, counter, ct)
+	if s.cfg.MAC == PMAC {
+		*tag = s.pmac.Sum(msg)
+	} else {
+		*tag = hmacx.Tag(s.macKey, msg)
+	}
+	sc.msg = msg[:0]
+	s.scratch.Put(sc)
 }
 
 // openChunk verifies and decrypts a chunk at a write epoch.
 func (s *sealer) openChunk(chunk int, counter uint32, ct []byte, tag [TagSize]byte) ([]byte, error) {
-	msg := s.macInput(chunk, counter, ct)
+	plain := make([]byte, len(ct))
+	if err := s.openChunkInto(plain, chunk, counter, ct, tag); err != nil {
+		return nil, err
+	}
+	return plain, nil
+}
+
+// openChunkInto verifies ct and decrypts it into dst (same length), using
+// pooled scratch. Safe for concurrent use by the stream pipeline's
+// decrypt/verify fan-out.
+func (s *sealer) openChunkInto(dst []byte, chunk int, counter uint32, ct []byte, tag [TagSize]byte) error {
+	sc := s.scratch.Get().(*sealScratch)
+	msg := s.macInputInto(sc.msg[:0], chunk, counter, ct)
 	ok := false
 	if s.cfg.MAC == PMAC {
 		ok = s.pmac.Verify(msg, tag)
 	} else {
 		ok = hmacx.Verify(s.macKey, msg, tag)
 	}
+	sc.msg = msg[:0]
 	if !ok {
-		return nil, &IntegrityError{Region: s.cfg.Name, Chunk: chunk}
+		s.scratch.Put(sc)
+		return &IntegrityError{Region: s.cfg.Name, Chunk: chunk}
 	}
-	plain := make([]byte, len(ct))
-	aesx.CTR(s.engine.Cipher(), s.iv(chunk, counter), plain, ct)
-	return plain, nil
+	sc.ctr.XORKeyStream(s.engine.Cipher(), s.iv(chunk, counter), dst, ct)
+	s.scratch.Put(sc)
+	return nil
 }
 
 // RegionLayout describes where a region's ciphertext and tags live in

@@ -257,8 +257,13 @@ type RegionStats struct {
 	Channel               int
 	Hits, Misses          uint64
 	Evictions, Writebacks uint64
-	BusyCycles            uint64
-	DRAMCycles            uint64
+	// Streamed counts every chunk moved by the pipelined
+	// ReadStream/WriteStream path — fetched from DRAM, served from a
+	// resident line, or zero-filled — and StreamWindows counts the
+	// pipeline windows those chunks travelled in.
+	Streamed, StreamWindows uint64
+	BusyCycles              uint64
+	DRAMCycles              uint64
 }
 
 // Report summarises simulated cost since provisioning.

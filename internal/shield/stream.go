@@ -1,0 +1,325 @@
+package shield
+
+import (
+	"fmt"
+	"sync"
+
+	"shef/internal/axi"
+)
+
+// This file is the Shield's streaming data path: ReadStream/WriteStream
+// move multi-chunk bursts through a three-stage pipeline instead of the
+// chunk-at-a-time load/decrypt/verify/copy loop of ReadBurst/WriteBurst.
+//
+//	stage 1  fetch ciphertext + tags for a window of chunks from DRAM in
+//	         one batched AXI transaction per contiguous run
+//	stage 2  decrypt/verify the window across the engine pool, with
+//	         goroutine fan-out bounded by the set's AESEngines
+//	stage 3  merge into the caller's buffer (on-chip copy)
+//
+// Windows overlap in the performance model (perf.StreamWindowTime /
+// StreamFillDrain): while window k is being verified, window k+1's fetch
+// and CTR keystream precomputation are already in flight — CTR keystream
+// depends only on the IV, never on the data, so the AES pool generates it
+// during the DRAM round trip. The paper claims exactly this overlap for
+// the engine set pipeline (§5.2.2); the chunked path cannot exploit it
+// because it holds a single outstanding burst and releases data only
+// after each MAC check (perf.Params.OverlapAlpha).
+//
+// Locking is window-granular: the engine-set mutex is taken per window,
+// not for the whole stream, so chunked accesses and other streams to the
+// same region interleave between windows. Resident buffer lines stay
+// authoritative — streamed reads serve them from on-chip memory, and
+// streamed full-chunk writes supersede them — so streams and cached
+// traffic never diverge. The per-chunk hot path allocates nothing:
+// staging buffers, buffer lines, and seal scratch are pooled (the
+// remaining per-window cost is the bounded goroutine fan-out, dwarfed by
+// the window's crypto work).
+
+// streamWindowChunks is the pipeline window: how many chunks stage 1
+// fetches per batched transaction and stage 2 decrypts per fan-out.
+const streamWindowChunks = 16
+
+// streamWindow is the preallocated staging state of one pipeline window,
+// pooled per engine set so the hot path is allocation-free.
+type streamWindow struct {
+	ct   []byte
+	tags []byte
+	idx  [streamWindowChunks]int
+	errs [streamWindowChunks]error
+}
+
+// ReadStream reads like ReadBurst — same plaintext view, same region
+// rules — but moves full chunks through the pipelined burst engine.
+// Unaligned head and tail bytes fall back to the chunked path. The
+// returned cycle count is the engine-set busy time under the overlapped
+// pipeline model.
+func (s *Shield) ReadStream(addr uint64, buf []byte) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set, err := s.setFor(addr)
+	if err != nil {
+		return 0, err
+	}
+	if addr+uint64(len(buf)) > set.cfg.Base+set.cfg.Size {
+		return 0, fmt.Errorf("shield: stream [%#x,+%d) crosses region %q boundary", addr, len(buf), set.cfg.Name)
+	}
+	return set.readStream(addr, buf)
+}
+
+// WriteStream writes like WriteBurst but seals and stores full chunks
+// through the pipelined burst engine: seal fan-out across the engine
+// pool, then one batched AXI write per window. Full-chunk writes never
+// fetch (the streaming write-once pattern); unaligned head and tail bytes
+// fall back to the chunked read-modify-write path.
+func (s *Shield) WriteStream(addr uint64, data []byte) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set, err := s.setFor(addr)
+	if err != nil {
+		return 0, err
+	}
+	if addr+uint64(len(data)) > set.cfg.Base+set.cfg.Size {
+		return 0, fmt.Errorf("shield: stream [%#x,+%d) crosses region %q boundary", addr, len(data), set.cfg.Name)
+	}
+	return set.writeStream(addr, data)
+}
+
+// readStream implements the streamed read for one engine set.
+func (s *engineSet) readStream(addr uint64, buf []byte) (uint64, error) {
+	return axi.StreamWindows(s.cfg.Base, addr, len(buf), s.cfg.ChunkSize, streamWindowChunks,
+		func(a uint64, lo, hi int) (uint64, error) { return s.read(a, buf[lo:hi]) },
+		func(a uint64, lo, hi int, first bool) (uint64, error) { return s.readWindow(a, buf[lo:hi], first) })
+}
+
+// readWindow moves one chunk-aligned window: classify, batch-fetch,
+// fan-out decrypt/verify, merge. addr is chunk-aligned and len(buf) is a
+// multiple of ChunkSize, at most streamWindowChunks chunks.
+func (s *engineSet) readWindow(addr uint64, buf []byte, first bool) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.integrityErr != nil {
+		return 0, s.integrityErr
+	}
+	start := s.busyCycles
+	cs := s.cfg.ChunkSize
+	c0 := int((addr - s.cfg.Base) / uint64(cs))
+	n := len(buf) / cs
+
+	win := s.windows.Get().(*streamWindow)
+	defer s.windows.Put(win)
+	fetch := win.idx[:0]
+	for i := 0; i < n; i++ {
+		chunk := c0 + i
+		dst := buf[i*cs : (i+1)*cs]
+		if ln, ok := s.lines[chunk]; ok {
+			// Resident lines (clean or dirty) are authoritative.
+			s.lruTick++
+			ln.tick = s.lruTick
+			copy(dst, ln.data)
+			s.hits++
+		} else if !s.initialized[chunk] {
+			// Virgin chunk: zeros from the on-chip valid bits.
+			clear(dst)
+		} else {
+			fetch = append(fetch, i)
+		}
+	}
+
+	// Stage 1: one batched fetch per contiguous run of chunks, tags
+	// riding the same request window (as chargeChunk accounts them); runs
+	// larger than the legal AXI burst pay one request per burst.
+	var dramBusy, dramBus uint64
+	err := axi.ForEachRun(fetch, func(i0, runChunks int) error {
+		dataAddr, tagAddr := s.dramAddrs(c0 + i0)
+		if _, err := s.port.ReadBurst(dataAddr, win.ct[i0*cs:(i0+runChunks)*cs]); err != nil {
+			return err
+		}
+		if _, err := s.port.ReadBurst(tagAddr, win.tags[i0*TagSize:(i0+runChunks)*TagSize]); err != nil {
+			return err
+		}
+		runBytes := runChunks * (cs + TagSize)
+		extraBursts := uint64(axi.BurstsFor(runBytes) - 1)
+		dramBusy += s.params.DRAMCyclesShared(runBytes, s.dramShare) + extraBursts*s.params.DRAMRequestCycles
+		dramBus += s.params.DRAMCycles(runBytes) + extraBursts*s.params.DRAMRequestCycles
+		return nil
+	})
+	if err != nil {
+		return s.busyCycles - start, err
+	}
+
+	// Stage 2: decrypt/verify fan-out across the engine pool.
+	if err := s.openFanout(win, fetch, c0, cs, buf); err != nil {
+		s.integrityErr = err
+		return s.busyCycles - start, err
+	}
+
+	s.chargeWindow(len(fetch), n, len(buf), dramBusy, dramBus, first)
+	return s.busyCycles - start, nil
+}
+
+// openFanout verifies and decrypts the fetched chunks of a window into
+// buf, on up to AESEngines goroutines. Callers hold s.mu, so worker reads
+// of counters and the sealer are exclusive with all mutation.
+func (s *engineSet) openFanout(win *streamWindow, fetch []int, c0, cs int, buf []byte) error {
+	open := func(slot int) error {
+		i := fetch[slot]
+		chunk := c0 + i
+		var tag [TagSize]byte
+		copy(tag[:], win.tags[i*TagSize:])
+		return s.seal.openChunkInto(buf[i*cs:(i+1)*cs], chunk, s.counters[chunk], win.ct[i*cs:(i+1)*cs], tag)
+	}
+	workers := s.cfg.AESEngines
+	if workers > len(fetch) {
+		workers = len(fetch)
+	}
+	if workers <= 1 {
+		for slot := range fetch {
+			if err := open(slot); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for slot := w; slot < len(fetch); slot += workers {
+				win.errs[slot] = open(slot)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for slot := range fetch {
+		if err := win.errs[slot]; err != nil {
+			win.errs[slot] = nil
+			return err
+		}
+	}
+	return nil
+}
+
+// writeStream implements the streamed write for one engine set.
+func (s *engineSet) writeStream(addr uint64, data []byte) (uint64, error) {
+	return axi.StreamWindows(s.cfg.Base, addr, len(data), s.cfg.ChunkSize, streamWindowChunks,
+		func(a uint64, lo, hi int) (uint64, error) { return s.write(a, data[lo:hi]) },
+		func(a uint64, lo, hi int, first bool) (uint64, error) { return s.writeWindow(a, data[lo:hi], first) })
+}
+
+// writeWindow seals one chunk-aligned window across the engine pool and
+// stores ciphertext and tags in one batched AXI transaction each. Full
+// windows are always contiguous, so there is exactly one run.
+func (s *engineSet) writeWindow(addr uint64, data []byte, first bool) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.integrityErr != nil {
+		return 0, s.integrityErr
+	}
+	start := s.busyCycles
+	cs := s.cfg.ChunkSize
+	c0 := int((addr - s.cfg.Base) / uint64(cs))
+	n := len(data) / cs
+
+	win := s.windows.Get().(*streamWindow)
+	defer s.windows.Put(win)
+
+	// New write epoch for every chunk before sealing it.
+	if s.cfg.Freshness {
+		for i := 0; i < n; i++ {
+			s.counters[c0+i]++
+		}
+	}
+
+	// Stage 1: seal fan-out across the engine pool.
+	seal := func(i int) {
+		chunk := c0 + i
+		var tag [TagSize]byte
+		s.seal.sealChunkInto(win.ct[i*cs:(i+1)*cs], &tag, chunk, s.counters[chunk], data[i*cs:(i+1)*cs])
+		copy(win.tags[i*TagSize:], tag[:])
+	}
+	workers := s.cfg.AESEngines
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			seal(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += workers {
+					seal(i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Stage 2: one batched store for the window's ciphertext and tags.
+	dataAddr, tagAddr := s.dramAddrs(c0)
+	if _, err := s.port.WriteBurst(dataAddr, win.ct[:n*cs]); err != nil {
+		return s.busyCycles - start, err
+	}
+	if _, err := s.port.WriteBurst(tagAddr, win.tags[:n*TagSize]); err != nil {
+		return s.busyCycles - start, err
+	}
+	runBytes := n * (cs + TagSize)
+	extraBursts := uint64(axi.BurstsFor(runBytes) - 1)
+
+	// The stream write supersedes any resident lines wholesale: DRAM now
+	// holds the authoritative ciphertext at the bumped epoch.
+	for i := 0; i < n; i++ {
+		chunk := c0 + i
+		if ln, ok := s.lines[chunk]; ok {
+			s.linePool.Put(ln)
+			delete(s.lines, chunk)
+		}
+		s.initialized[chunk] = true
+	}
+
+	s.chargeWindow(n, n, len(data),
+		s.params.DRAMCyclesShared(runBytes, s.dramShare)+extraBursts*s.params.DRAMRequestCycles,
+		s.params.DRAMCycles(runBytes)+extraBursts*s.params.DRAMRequestCycles, first)
+	return s.busyCycles - start, nil
+}
+
+// chargeWindow accounts one pipeline window under the overlapped model:
+// the window is paced by its slowest stage (DRAM, the AES pool, the
+// serial HMAC core, or the on-chip merge), the first window additionally
+// pays pipeline fill/drain, and the per-window issue cost replaces the
+// chunked path's per-chunk issue cost.
+//
+// The AES pool stage bundles CTR keystream work with PMAC block work: for
+// reads the keystream precomputes during the fetch of earlier windows,
+// but the pool must still serve every block, so pool occupancy — not the
+// per-chunk wave latency — is what paces a saturated stream.
+//
+// fetched is the number of chunks that actually crossed the crypto
+// pipeline (reads served from resident lines or valid bits skip it);
+// chunks is everything the window moved, which is what Streamed reports.
+func (s *engineSet) chargeWindow(fetched, chunks, bytes int, dramBusy, dramBus uint64, first bool) {
+	var poolStage, hmacStage uint64
+	if fetched > 0 {
+		pool := fetched * s.ctrBlocksPerChunk()
+		if s.cfg.MAC == PMAC {
+			pool += fetched * s.pmacBlocksPerChunk()
+		} else {
+			hmacStage = uint64(fetched) * s.hmacCyclesPerChunk()
+		}
+		poolStage = s.poolCycles(pool)
+	}
+	copyStage := uint64(bytes) / 64
+	s.busyCycles += s.params.StreamWindowTime(dramBusy, poolStage, hmacStage, copyStage) + s.params.ChunkIssueCycles
+	if first {
+		s.busyCycles += s.params.StreamFillDrain(dramBusy, poolStage, hmacStage, copyStage)
+	}
+	s.dramCycles += dramBus
+	s.streamed += uint64(chunks)
+	s.streamWindows++
+}
