@@ -122,28 +122,48 @@ func gatedMetric(name string) bool {
 	return strings.HasPrefix(name, "sim-")
 }
 
+// sortedGated returns an entry's gated metric names in stable order.
+func (e BenchEntry) sortedGated() []string {
+	var out []string
+	for metric := range e.Metrics {
+		if gatedMetric(metric) {
+			out = append(out, metric)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // checkRegression compares pr against baseline. It returns the list of
-// human-readable regressions (empty means the gate passes) plus a report
-// of every gated comparison for the CI log.
-func checkRegression(baseline, pr *BenchDoc, threshold float64) (regressions, report []string) {
+// human-readable regressions (empty means the gate passes), a report of
+// every gated comparison for the CI log, and the gated metrics that
+// appear in the PR run but not in the baseline (signalling the baseline
+// wants regenerating so they gate future PRs). Every gated baseline
+// metric must be present in the PR run: a benchmark or metric that
+// disappears is a regression, never a silent pass — a vanished metric is
+// indistinguishable from an unmeasured one.
+func checkRegression(baseline, pr *BenchDoc, threshold float64) (regressions, report, newMetrics []string) {
 	prByName := map[string]BenchEntry{}
 	for _, e := range pr.Benchmarks {
 		prByName[e.key()] = e
 	}
+	baseByName := map[string]BenchEntry{}
 	for _, base := range baseline.Benchmarks {
+		baseByName[base.key()] = base
 		cur, ok := prByName[base.key()]
-		for metric, baseVal := range base.Metrics {
-			if !gatedMetric(metric) || baseVal <= 0 {
-				continue
-			}
+		for _, metric := range base.sortedGated() {
+			baseVal := base.Metrics[metric]
 			if !ok {
 				regressions = append(regressions, fmt.Sprintf("%s: benchmark missing from PR run (baseline %s=%.3g)", base.key(), metric, baseVal))
-				break
+				continue
 			}
 			curVal, have := cur.Metrics[metric]
 			if !have {
-				regressions = append(regressions, fmt.Sprintf("%s: metric %s missing from PR run (baseline %.3g)", base.Name, metric, baseVal))
+				regressions = append(regressions, fmt.Sprintf("%s: metric %s missing from PR run (baseline %.3g)", base.key(), metric, baseVal))
 				continue
+			}
+			if baseVal <= 0 {
+				continue // present, but not comparable as higher-is-better
 			}
 			ratio := curVal / baseVal
 			line := fmt.Sprintf("%s %s: baseline %.3f, pr %.3f (%+.1f%%)", base.Name, metric, baseVal, curVal, (ratio-1)*100)
@@ -153,9 +173,18 @@ func checkRegression(baseline, pr *BenchDoc, threshold float64) (regressions, re
 			}
 		}
 	}
+	for _, cur := range pr.Benchmarks {
+		base, ok := baseByName[cur.key()]
+		for _, metric := range cur.sortedGated() {
+			if _, have := base.Metrics[metric]; !ok || !have {
+				newMetrics = append(newMetrics, fmt.Sprintf("%s %s=%.3g", cur.key(), metric, cur.Metrics[metric]))
+			}
+		}
+	}
 	sort.Strings(report)
 	sort.Strings(regressions)
-	return regressions, report
+	sort.Strings(newMetrics)
+	return regressions, report, newMetrics
 }
 
 // runCheck runs the -check mode and returns the process exit code.
@@ -170,10 +199,16 @@ func runCheck(baselinePath, prPath string, threshold float64, w io.Writer) int {
 		fmt.Fprintf(w, "benchtab -check: %v\n", err)
 		return 2
 	}
-	regressions, report := checkRegression(baseline, pr, threshold)
+	regressions, report, newMetrics := checkRegression(baseline, pr, threshold)
 	fmt.Fprintf(w, "benchtab -check: %d gated metrics vs %s (budget %.0f%%)\n", len(report), baselinePath, threshold*100)
 	for _, line := range report {
 		fmt.Fprintln(w, "  ", line)
+	}
+	if len(newMetrics) > 0 {
+		fmt.Fprintln(w, "NEW METRICS (in PR run, not in baseline — regenerate the baseline so they gate):")
+		for _, line := range newMetrics {
+			fmt.Fprintln(w, "  ", line)
+		}
 	}
 	if len(regressions) > 0 {
 		fmt.Fprintln(w, "REGRESSIONS:")

@@ -56,18 +56,76 @@ func TestCheckRegressionGate(t *testing.T) {
 		{Name: "A", Metrics: map[string]float64{"sim-speedup-x": 1.8, "ns/op": 900}},
 		{Name: "B", Metrics: map[string]float64{"sim-ops/sec-4shard": 1500}},
 	}}
-	if regs, _ := checkRegression(base, pr, 0.20); len(regs) != 0 {
+	if regs, _, _ := checkRegression(base, pr, 0.20); len(regs) != 0 {
 		t.Fatalf("within-budget run flagged: %v", regs)
 	}
 	// Beyond budget: 30% down must fail.
 	pr.Benchmarks[0].Metrics["sim-speedup-x"] = 1.4
-	regs, _ := checkRegression(base, pr, 0.20)
+	regs, _, _ := checkRegression(base, pr, 0.20)
 	if len(regs) != 1 || !strings.Contains(regs[0], "sim-speedup-x") {
 		t.Fatalf("regression not flagged: %v", regs)
 	}
 	// A benchmark vanishing from the PR run is a regression too.
 	pr.Benchmarks = pr.Benchmarks[1:]
-	if regs, _ := checkRegression(base, pr, 0.20); len(regs) == 0 {
+	if regs, _, _ := checkRegression(base, pr, 0.20); len(regs) == 0 {
 		t.Fatal("missing benchmark not flagged")
+	}
+}
+
+func TestCheckFailsWhenGatedMetricDisappears(t *testing.T) {
+	base := &BenchDoc{Benchmarks: []BenchEntry{
+		{Name: "A", Metrics: map[string]float64{"sim-flush-speedup-x": 2.1, "sim-flush-MiB/s": 3000, "ns/op": 100}},
+	}}
+	// The benchmark still runs, but one gated metric vanished (e.g. the
+	// ReportMetric call was dropped): the gate must fail, not silently
+	// pass, and must name every vanished metric.
+	pr := &BenchDoc{Benchmarks: []BenchEntry{
+		{Name: "A", Metrics: map[string]float64{"sim-flush-MiB/s": 3000, "ns/op": 90}},
+	}}
+	regs, _, _ := checkRegression(base, pr, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "sim-flush-speedup-x") || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("vanished metric not flagged: %v", regs)
+	}
+	// Both gated metrics vanish along with a whole benchmark: one
+	// regression line per metric, none silently dropped.
+	pr.Benchmarks = nil
+	regs, _, _ = checkRegression(base, pr, 0.20)
+	if len(regs) != 2 {
+		t.Fatalf("want one regression per vanished gated metric, got %v", regs)
+	}
+	// A non-gated metric vanishing (host noise) is not a failure.
+	pr.Benchmarks = []BenchEntry{{Name: "A", Metrics: map[string]float64{"sim-flush-speedup-x": 2.1, "sim-flush-MiB/s": 3000}}}
+	if regs, _, _ := checkRegression(base, pr, 0.20); len(regs) != 0 {
+		t.Fatalf("vanished ns/op flagged: %v", regs)
+	}
+}
+
+func TestCheckListsNewMetrics(t *testing.T) {
+	base := &BenchDoc{Benchmarks: []BenchEntry{
+		{Name: "A", Metrics: map[string]float64{"sim-speedup-x": 2.0}},
+	}}
+	pr := &BenchDoc{Benchmarks: []BenchEntry{
+		{Name: "A", Metrics: map[string]float64{"sim-speedup-x": 2.1, "sim-prefetch-speedup-x": 1.9, "ns/op": 50}},
+		{Name: "C", Metrics: map[string]float64{"sim-flush-speedup-x": 2.1, "MB/s": 80}},
+	}}
+	regs, _, newM := checkRegression(base, pr, 0.20)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	// Gated metrics new to the PR run are listed (and only gated ones):
+	// the report tells the operator the baseline wants regenerating.
+	if len(newM) != 2 {
+		t.Fatalf("new metrics = %v, want the two new sim-* entries", newM)
+	}
+	for _, want := range []string{"sim-prefetch-speedup-x", "sim-flush-speedup-x"} {
+		found := false
+		for _, line := range newM {
+			if strings.Contains(line, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("new metric %s not listed in %v", want, newM)
+		}
 	}
 }

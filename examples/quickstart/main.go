@@ -44,12 +44,17 @@ func main() {
 	pp := *platform.Options.Perf
 	fmt.Printf("shielded run: %d cycles (%.2f ms at %.0f MHz)\n",
 		res.Cycles, 1000*res.Seconds(pp), pp.ClockHz/1e6)
-	var streamed, windows uint64
+	var streamed, windows, batchedWB, prefetched, prefetchHits uint64
 	for _, r := range res.Report.Regions {
 		streamed += r.Streamed
 		windows += r.StreamWindows
+		batchedWB += r.BatchedWritebacks
+		prefetched += r.Prefetched
+		prefetchHits += r.PrefetchHits
 	}
 	fmt.Printf("streamed data path: %d chunks in %d pipeline windows\n", streamed, windows)
+	fmt.Printf("write-back path:    %d chunks stored in batched windows\n", batchedWB)
+	fmt.Printf("prefetcher:         %d chunks fetched ahead, %d served demand hits\n", prefetched, prefetchHits)
 
 	// Compare with the unshielded baseline (same accelerator, no Shield).
 	w, _ := accel.New("vecadd", map[string]string{"bytes": "1048576"})

@@ -2,6 +2,7 @@ package accel
 
 import (
 	"fmt"
+	"sort"
 
 	"shef/internal/axi"
 	"shef/internal/perf"
@@ -25,6 +26,13 @@ type bareRegion struct {
 	lines    map[int]*bufEntry
 	capacity int
 	tick     uint64
+
+	// Sequential-stride detector mirroring the Shield's adaptive
+	// prefetcher, so baselines and shielded runs see the same memory
+	// microarchitecture and the overhead isolates the cryptography.
+	seqNext   int
+	seqRun    int
+	seqStreak bool
 
 	// share is the number of ports contending for this region's channel.
 	share      int
@@ -51,7 +59,7 @@ func newBareCachePort(cfg shield.Config, inner axi.MemoryPort, params perf.Param
 		}
 		p.regions = append(p.regions, &bareRegion{
 			cfg: rc, lines: make(map[int]*bufEntry), capacity: capacity,
-			share: perChannel[rc.Channel],
+			share: perChannel[rc.Channel], seqNext: -1,
 		})
 	}
 	return p
@@ -72,19 +80,26 @@ func (p *bareCachePort) load(r *bareRegion, chunk int, fill bool) (*bufEntry, er
 		ln.tick = r.tick
 		return ln, nil
 	}
-	if len(r.lines) >= r.capacity {
-		victim, oldest := -1, uint64(1<<63)
-		for idx, ln := range r.lines {
-			if ln.tick < oldest {
-				victim, oldest = idx, ln.tick
-			}
+	if fill {
+		// The same sequential-stride detector the Shield runs, so a
+		// chunk-at-a-time sequential baseline gets the same batched-fetch
+		// microarchitecture and the comparison isolates the cryptography.
+		if chunk == r.seqNext {
+			r.seqRun++
+		} else {
+			r.seqRun, r.seqStreak = 1, false
 		}
-		if victim >= 0 {
-			if err := p.writeback(r, victim); err != nil {
+		r.seqNext = chunk + 1
+		if r.cfg.SeqPrefetch && p.params.PrefetchMinMisses > 0 && r.capacity > 1 &&
+			r.seqRun >= p.params.PrefetchMinMisses {
+			if err := p.prefetchRun(r, chunk); err != nil {
 				return nil, err
 			}
-			delete(r.lines, victim)
+			return r.lines[chunk], nil
 		}
+	}
+	if err := p.evictFor(r, 1); err != nil {
+		return nil, err
 	}
 	ln := &bufEntry{data: make([]byte, r.cfg.ChunkSize)}
 	if fill {
@@ -101,19 +116,175 @@ func (p *bareCachePort) load(r *bareRegion, chunk int, fill bool) (*bufEntry, er
 	return ln, nil
 }
 
-func (p *bareCachePort) writeback(r *bareRegion, chunk int) error {
-	ln := r.lines[chunk]
-	if ln == nil || !ln.dirty {
-		return nil
+// prefetchRun mirrors the Shield's adaptive prefetcher: the demand chunk
+// plus a window of chunks ahead arrive in one batched transaction, charged
+// with the overlapped stream accounting (no crypto stages here).
+func (p *bareCachePort) prefetchRun(r *bareRegion, c0 int) error {
+	cs := r.cfg.ChunkSize
+	max := p.params.PrefetchWindowChunks
+	if max < 1 || max > bareStreamWindow {
+		max = bareStreamWindow
 	}
-	addr := r.cfg.Base + uint64(chunk*r.cfg.ChunkSize)
-	if _, err := p.inner.WriteBurst(addr, ln.data); err != nil {
+	if max > r.capacity {
+		max = r.capacity
+	}
+	n := 1
+	for n < max {
+		c := c0 + n
+		if c >= r.cfg.Chunks() {
+			break
+		}
+		if _, resident := r.lines[c]; resident {
+			break
+		}
+		n++
+	}
+	if err := p.evictFor(r, n); err != nil {
 		return err
 	}
-	r.busyCycles += p.params.DRAMCyclesShared(r.cfg.ChunkSize, r.share)
-	r.dramCycles += p.params.DRAMCycles(r.cfg.ChunkSize)
-	ln.dirty = false
+	buf := make([]byte, n*cs)
+	addr := r.cfg.Base + uint64(c0*cs)
+	if _, err := p.inner.ReadBurst(addr, buf); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		ln := &bufEntry{data: buf[i*cs : (i+1)*cs : (i+1)*cs]}
+		r.tick++
+		ln.tick = r.tick
+		r.lines[c0+i] = ln
+	}
+	// The demand chunk is the access being served: most recent, exactly
+	// as the Shield's engine set ranks it after its prefetch window.
+	r.tick++
+	r.lines[c0].tick = r.tick
+	if n == 1 {
+		r.busyCycles += p.params.DRAMCyclesShared(cs, r.share)
+		r.dramCycles += p.params.DRAMCycles(cs)
+	} else {
+		extraBursts := uint64(axi.BurstsFor(n*cs) - 1)
+		dramBusy := p.params.DRAMCyclesShared(n*cs, r.share) + extraBursts*p.params.DRAMRequestCycles
+		copyStage := uint64(n*cs) / 64
+		r.busyCycles += p.params.StreamWindowTime(dramBusy, copyStage)
+		if !r.seqStreak {
+			r.busyCycles += p.params.StreamFillDrain(dramBusy, copyStage)
+		}
+		r.seqStreak = true
+		r.dramCycles += p.params.DRAMCycles(n*cs) + extraBursts*p.params.DRAMRequestCycles
+	}
+	r.seqNext = c0 + n
 	return nil
+}
+
+// evictFor makes room for n incoming lines, write-combining dirty victims
+// with resident dirty neighbours the way the Shield's engine set does.
+func (p *bareCachePort) evictFor(r *bareRegion, n int) error {
+	need := len(r.lines) + n - r.capacity
+	if need <= 0 {
+		return nil
+	}
+	victims := make([]int, 0, need)
+	for len(victims) < need {
+		victim, oldest := -1, uint64(1<<63)
+		for idx, ln := range r.lines {
+			if ln.tick < oldest {
+				taken := false
+				for _, v := range victims {
+					if v == idx {
+						taken = true
+						break
+					}
+				}
+				if !taken {
+					victim, oldest = idx, ln.tick
+				}
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		victims = append(victims, victim)
+	}
+	dirtySet := make(map[int]bool)
+	limit := p.batchChunks()
+	extend := func(from, step int) {
+		for c, span := from, 1; span < limit; c, span = c+step, span+1 {
+			if nb, ok := r.lines[c]; !ok || !nb.dirty || dirtySet[c] {
+				return
+			}
+			dirtySet[c] = true
+		}
+	}
+	for _, v := range victims {
+		if !r.lines[v].dirty {
+			continue
+		}
+		dirtySet[v] = true
+		extend(v-1, -1)
+		extend(v+1, +1)
+	}
+	if len(dirtySet) > 0 {
+		dirty := make([]int, 0, len(dirtySet))
+		for c := range dirtySet {
+			dirty = append(dirty, c)
+		}
+		sort.Ints(dirty)
+		if err := p.writebackChunks(r, dirty, false); err != nil {
+			return err
+		}
+	}
+	for _, v := range victims {
+		delete(r.lines, v)
+	}
+	return nil
+}
+
+// batchChunks mirrors the Shield's write-side window size.
+func (p *bareCachePort) batchChunks() int {
+	n := p.params.WritebackBatchChunks
+	if n < 1 {
+		n = 1
+	}
+	if n > bareStreamWindow {
+		n = bareStreamWindow
+	}
+	return n
+}
+
+// writebackChunks stores the given resident dirty chunks (sorted
+// ascending): one batched transaction per contiguous run, overlapped
+// accounting for multi-chunk windows, the plain per-chunk charge for
+// singletons — the Shield's batched write-back without the sealing.
+func (p *bareCachePort) writebackChunks(r *bareRegion, chunks []int, fillDrain bool) error {
+	cs := r.cfg.ChunkSize
+	first := fillDrain
+	return axi.ForEachRunCapped(chunks, p.batchChunks(), func(c0, n int) error {
+		buf := make([]byte, 0, n*cs)
+		for i := 0; i < n; i++ {
+			buf = append(buf, r.lines[c0+i].data...)
+		}
+		addr := r.cfg.Base + uint64(c0*cs)
+		if _, err := p.inner.WriteBurst(addr, buf); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			r.lines[c0+i].dirty = false
+		}
+		if n == 1 {
+			r.busyCycles += p.params.DRAMCyclesShared(cs, r.share)
+			r.dramCycles += p.params.DRAMCycles(cs)
+			return nil
+		}
+		extraBursts := uint64(axi.BurstsFor(n*cs) - 1)
+		dramBusy := p.params.DRAMCyclesShared(n*cs, r.share) + extraBursts*p.params.DRAMRequestCycles
+		copyStage := uint64(n*cs) / 64
+		r.busyCycles += p.params.StreamWindowTime(dramBusy, copyStage)
+		if first {
+			r.busyCycles += p.params.StreamFillDrain(dramBusy, copyStage)
+			first = false
+		}
+		r.dramCycles += p.params.DRAMCycles(n*cs) + extraBursts*p.params.DRAMRequestCycles
+		return nil
+	})
 }
 
 // ReadBurst implements axi.MemoryPort.
@@ -278,13 +449,20 @@ func (p *bareCachePort) MemCycles() uint64 {
 	return best
 }
 
-// Flush writes back all dirty lines.
+// Flush writes back all dirty lines in ascending chunk order, contiguous
+// runs batched — the deterministic pipelined flush the Shield performs,
+// minus the sealing.
 func (p *bareCachePort) Flush() error {
 	for _, r := range p.regions {
-		for idx := range r.lines {
-			if err := p.writeback(r, idx); err != nil {
-				return err
+		dirty := make([]int, 0, len(r.lines))
+		for idx, ln := range r.lines {
+			if ln.dirty {
+				dirty = append(dirty, idx)
 			}
+		}
+		sort.Ints(dirty)
+		if err := p.writebackChunks(r, dirty, true); err != nil {
+			return err
 		}
 	}
 	return nil

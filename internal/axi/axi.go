@@ -105,6 +105,28 @@ func ForEachRun(idx []int, fn func(i0, n int) error) error {
 	return nil
 }
 
+// ForEachRunCapped is ForEachRun with a ceiling on the run length: maximal
+// contiguous runs longer than max indices are split into max-sized
+// windows. Batched write-back uses it to bound how many chunks one
+// pipelined store transaction carries. max < 1 means uncapped.
+func ForEachRunCapped(idx []int, max int, fn func(i0, n int) error) error {
+	return ForEachRun(idx, func(i0, n int) error {
+		if max < 1 {
+			return fn(i0, n)
+		}
+		for off := 0; off < n; off += max {
+			w := n - off
+			if w > max {
+				w = max
+			}
+			if err := fn(i0+off, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 // BurstsFor is the number of AXI transactions a transfer of n bytes
 // legalises into (MaxBurstBytes each): batched streams pay the request
 // latency once per legal burst, not once per chunk.

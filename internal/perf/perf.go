@@ -46,6 +46,24 @@ type Params struct {
 	// ShieldInitCycles is added on top of InitCycles for shielded
 	// executions (Load Key unwrap, key schedule, counter reset).
 	ShieldInitCycles uint64
+
+	// WritebackBatchChunks is the write-side pipeline window: how many
+	// contiguous dirty chunks a flush or bulk eviction seals and stores
+	// per batched AXI transaction. Windows of two or more chunks are
+	// charged with the overlapped StreamWindowTime accounting; a value of
+	// 1 disables batching, so every write-back pays the chunked
+	// ChunkTime — which is also what singleton runs always pay.
+	WritebackBatchChunks int
+
+	// PrefetchMinMisses is the sequential-stride detector's trigger: after
+	// this many consecutive ascending chunk misses in a region with
+	// SeqPrefetch enabled, the engine set services the run through stream
+	// windows transparently. Zero disables the prefetcher everywhere.
+	PrefetchMinMisses int
+
+	// PrefetchWindowChunks is how many chunks one prefetch window moves
+	// (capped by the engine set's staging window and buffer capacity).
+	PrefetchWindowChunks int
 }
 
 // Default returns the calibrated F1 parameter set.
@@ -58,6 +76,10 @@ func Default() Params {
 		ChunkIssueCycles:  20,
 		InitCycles:        220_000, // ~0.9 ms of host/DMA signalling
 		ShieldInitCycles:  40_000,
+
+		WritebackBatchChunks: 16,
+		PrefetchMinMisses:    4,
+		PrefetchWindowChunks: 16,
 	}
 }
 

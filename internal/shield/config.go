@@ -80,6 +80,15 @@ type RegionConfig struct {
 	// the buffer line is zeroed instead of fetched, avoiding a
 	// read-modify-write when chunks are written exactly once.
 	ZeroFillWrites bool
+	// SeqPrefetch arms the adaptive sequential prefetcher: after
+	// perf.Params.PrefetchMinMisses consecutive ascending chunk misses,
+	// the engine set fetches ahead through pipelined stream windows, so
+	// chunk-at-a-time sequential access patterns get the streaming path's
+	// overlapped accounting without the accelerator calling ReadStream.
+	// IP Vendors enable it for regions with sequential phases; leave it
+	// off for genuinely random access, where fetched-ahead lines only
+	// pollute the buffer.
+	SeqPrefetch bool
 	// Channel is the off-chip interface this region's traffic uses (the
 	// F1 device has four DDR4 channels; SDP's storage and TLS interfaces
 	// are distinct ports). Regions on different channels do not contend

@@ -2,6 +2,7 @@ package shield
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"shef/internal/axi"
@@ -40,10 +41,23 @@ type engineSet struct {
 	tagBase uint64
 	port    axi.MemoryPort
 
-	// On-chip state (allocated from the device OCM budget).
-	lines    map[int]*bufLine // chunk index -> resident line
-	lruTick  uint64
+	// On-chip state (allocated from the device OCM budget). lines maps a
+	// chunk index to its resident line for O(1) lookup; the lines
+	// themselves are threaded on an intrusive doubly-linked list rooted at
+	// lruRoot (lruRoot.next is most recent, lruRoot.prev the victim), so
+	// eviction is O(1) instead of an O(capacity) map scan.
+	lines    map[int]*bufLine
+	lruRoot  bufLine
 	capacity int
+
+	// Sequential-stride detector driving the adaptive prefetcher: seqNext
+	// is the chunk a continuing ascending miss pattern would touch next,
+	// seqRun the length of the current ascending fetch-miss run, and
+	// seqStreak whether the prefetch pipeline is already primed (windows
+	// after the first skip the fill/drain charge).
+	seqNext   int
+	seqRun    int
+	seqStreak bool
 
 	// counters hold the per-chunk write counters when Freshness is on
 	// (folded into IV and MAC; see sealer).
@@ -70,7 +84,9 @@ type engineSet struct {
 	busyCycles                          uint64 // accumulated engine-set busy time (chunk pipeline)
 	dramCycles                          uint64 // this set's share of DRAM bus time
 	hits, misses, evictions, writebacks uint64
+	batchedWritebacks                   uint64 // chunks written back via multi-chunk pipelined windows
 	streamed, streamWindows             uint64 // chunks moved / windows issued by the stream path
+	prefetched, prefetchHits            uint64 // chunks fetched ahead / prefetched lines later demanded
 
 	// integrityErr latches the first authentication failure; the Shield
 	// refuses further service afterwards, modelling the hardware fault
@@ -78,11 +94,16 @@ type engineSet struct {
 	integrityErr error
 }
 
-// bufLine is one cache line of decrypted, authenticated plaintext.
+// bufLine is one cache line of decrypted, authenticated plaintext. chunk
+// and the prev/next links are the intrusive LRU state; prefetched marks
+// lines brought in by the sequential prefetcher that have not yet served a
+// demand access.
 type bufLine struct {
-	data  []byte
-	dirty bool
-	tick  uint64
+	data       []byte
+	dirty      bool
+	prefetched bool
+	chunk      int
+	prev, next *bufLine
 }
 
 // newEngineSet builds the runtime for a region. Keys are derived from the
@@ -104,7 +125,10 @@ func newEngineSet(cfg RegionConfig, regionID uint32, dek []byte, tagBase uint64,
 		port:     port,
 		lines:    make(map[int]*bufLine),
 		capacity: cfg.bufferLines(),
+		seqNext:  -1,
 	}
+	s.lruRoot.prev = &s.lruRoot
+	s.lruRoot.next = &s.lruRoot
 	s.linePool.New = func() any {
 		return &bufLine{data: make([]byte, cfg.ChunkSize)}
 	}
@@ -148,6 +172,63 @@ func (s *engineSet) releaseOCM(ocm *mem.OCM) {
 		ocm.Free(s.ocmBytes)
 		s.ocmBytes = 0
 	}
+}
+
+// Intrusive LRU list operations. All assume s.mu is held.
+
+// lruPush inserts ln at the most-recently-used end.
+func (s *engineSet) lruPush(ln *bufLine) {
+	ln.prev = &s.lruRoot
+	ln.next = s.lruRoot.next
+	ln.prev.next = ln
+	ln.next.prev = ln
+}
+
+// lruRemove unlinks ln.
+func (s *engineSet) lruRemove(ln *bufLine) {
+	ln.prev.next = ln.next
+	ln.next.prev = ln.prev
+	ln.prev, ln.next = nil, nil
+}
+
+// lruTouch moves ln to the most-recently-used end.
+func (s *engineSet) lruTouch(ln *bufLine) {
+	s.lruRemove(ln)
+	s.lruPush(ln)
+}
+
+// lruVictim returns the least-recently-used line (nil when empty).
+func (s *engineSet) lruVictim() *bufLine {
+	if s.lruRoot.prev == &s.lruRoot {
+		return nil
+	}
+	return s.lruRoot.prev
+}
+
+// touchResident marks a demand access to a resident line: LRU update plus
+// prefetch-hit accounting (a prefetched line proved useful; it is counted
+// once, on its first demand access).
+func (s *engineSet) touchResident(ln *bufLine) {
+	s.lruTouch(ln)
+	if ln.prefetched {
+		ln.prefetched = false
+		s.prefetchHits++
+	}
+}
+
+// dropLine evicts ln from the buffer (caller has written it back if dirty).
+func (s *engineSet) dropLine(ln *bufLine) {
+	s.lruRemove(ln)
+	delete(s.lines, ln.chunk)
+	ln.dirty, ln.prefetched = false, false
+	s.linePool.Put(ln)
+}
+
+// insertLine makes ln resident for chunk at the MRU end.
+func (s *engineSet) insertLine(chunk int, ln *bufLine) {
+	ln.chunk = chunk
+	s.lines[chunk] = ln
+	s.lruPush(ln)
 }
 
 // ctrBlocksPerChunk is the number of AES-CTR keystream blocks per chunk.
@@ -224,6 +305,38 @@ func (s *engineSet) dramAddrs(chunk int) (data, tag uint64) {
 	return
 }
 
+// batchChunks is the write-side pipeline window in chunks, bounded by the
+// pooled staging buffers.
+func (s *engineSet) batchChunks() int {
+	n := s.params.WritebackBatchChunks
+	if n < 1 {
+		n = 1
+	}
+	if n > streamWindowChunks {
+		n = streamWindowChunks
+	}
+	return n
+}
+
+// prefetchDegree is how many chunks one prefetch window may move, bounded
+// by the staging buffers and the on-chip buffer capacity.
+func (s *engineSet) prefetchDegree() int {
+	n := s.params.PrefetchWindowChunks
+	if n < 1 || n > streamWindowChunks {
+		n = streamWindowChunks
+	}
+	if n > s.capacity {
+		n = s.capacity
+	}
+	return n
+}
+
+// prefetchArmed reports whether the adaptive sequential prefetcher is
+// configured for this set.
+func (s *engineSet) prefetchArmed() bool {
+	return s.cfg.SeqPrefetch && s.params.PrefetchMinMisses > 0 && s.capacity > 1
+}
+
 // load makes a chunk resident, fetching/decrypting/verifying on miss.
 // fill == false skips the DRAM fetch (full-chunk overwrite).
 func (s *engineSet) load(chunk int, fill bool) (*bufLine, error) {
@@ -231,18 +344,37 @@ func (s *engineSet) load(chunk int, fill bool) (*bufLine, error) {
 		return nil, s.integrityErr
 	}
 	if ln, ok := s.lines[chunk]; ok {
-		s.lruTick++
-		ln.tick = s.lruTick
+		s.touchResident(ln)
 		return ln, nil
 	}
-	if err := s.evictIfFull(); err != nil {
-		return nil, err
-	}
-	ln := s.linePool.Get().(*bufLine)
-	ln.dirty = false
 	if fill && !s.initialized[chunk] {
 		fill = false // virgin chunk: serve zeros from on-chip valid bits
 	}
+	if fill {
+		// Feed the sequential-stride detector: a fetch miss extends the
+		// ascending run or starts a new one.
+		if chunk == s.seqNext {
+			s.seqRun++
+		} else {
+			s.seqRun, s.seqStreak = 1, false
+		}
+		s.seqNext = chunk + 1
+		if s.prefetchArmed() && s.seqRun >= s.params.PrefetchMinMisses {
+			// The detector fired: service the run through a pipelined
+			// stream window instead of a chunk-at-a-time fetch.
+			if err := s.prefetchRun(chunk); err != nil {
+				return nil, err
+			}
+			ln := s.lines[chunk]
+			s.lruTouch(ln)
+			return ln, nil
+		}
+	}
+	if err := s.evictFor(1); err != nil {
+		return nil, err
+	}
+	ln := s.linePool.Get().(*bufLine)
+	ln.dirty, ln.prefetched = false, false
 	if fill {
 		dataAddr, tagAddr := s.dramAddrs(chunk)
 		win := s.windows.Get().(*streamWindow)
@@ -274,57 +406,263 @@ func (s *engineSet) load(chunk int, fill bool) (*bufLine, error) {
 		s.busyCycles += s.params.ChunkIssueCycles
 		s.misses++
 	}
-	s.lruTick++
-	ln.tick = s.lruTick
-	s.lines[chunk] = ln
+	s.insertLine(chunk, ln)
 	return ln, nil
 }
 
-// evictIfFull writes back the least recently used line when at capacity.
-func (s *engineSet) evictIfFull() error {
-	if len(s.lines) < s.capacity {
-		return nil
-	}
-	victim, oldest := -1, ^uint64(0)
-	for idx, ln := range s.lines {
-		if ln.tick < oldest {
-			victim, oldest = idx, ln.tick
+// prefetchRun services a detected sequential run: the demand chunk plus up
+// to prefetchDegree-1 chunks ahead move through one batched fetch and a
+// decrypt/verify fan-out straight into buffer lines, charged with the
+// overlapped stream-window accounting (the first window of a streak also
+// pays pipeline fill/drain). The demand chunk is resident on return.
+func (s *engineSet) prefetchRun(c0 int) error {
+	cs := s.cfg.ChunkSize
+	n := 1
+	for max := s.prefetchDegree(); n < max; n++ {
+		c := c0 + n
+		if c >= s.cfg.Chunks() || !s.initialized[c] {
+			break // a virgin or out-of-range chunk ends the run
+		}
+		if _, resident := s.lines[c]; resident {
+			break // the fetch run must stay contiguous in DRAM
 		}
 	}
-	if victim < 0 {
-		return nil
-	}
-	if err := s.writeback(victim); err != nil {
+	if err := s.evictFor(n); err != nil {
 		return err
 	}
-	s.linePool.Put(s.lines[victim])
-	delete(s.lines, victim)
-	s.evictions++
+
+	win := s.windows.Get().(*streamWindow)
+	defer s.windows.Put(win)
+	dataAddr, tagAddr := s.dramAddrs(c0)
+	if _, err := s.port.ReadBurst(dataAddr, win.ct[:n*cs]); err != nil {
+		return err
+	}
+	if _, err := s.port.ReadBurst(tagAddr, win.tags[:n*TagSize]); err != nil {
+		return err
+	}
+
+	var lines [streamWindowChunks]*bufLine
+	for i := 0; i < n; i++ {
+		lines[i] = s.linePool.Get().(*bufLine)
+	}
+	s.fanout(n, func(i int) {
+		chunk := c0 + i
+		var tag [TagSize]byte
+		copy(tag[:], win.tags[i*TagSize:])
+		win.errs[i] = s.seal.openChunkInto(lines[i].data, chunk, s.counters[chunk], win.ct[i*cs:(i+1)*cs], tag)
+	})
+	for i := 0; i < n; i++ {
+		if err := win.errs[i]; err != nil {
+			win.errs[i] = nil
+			for j := 0; j < n; j++ {
+				s.linePool.Put(lines[j])
+			}
+			s.integrityErr = err
+			return err
+		}
+	}
+	for i := 0; i < n; i++ {
+		ln := lines[i]
+		ln.dirty = false
+		ln.prefetched = i > 0 // the demand chunk is a plain miss
+		s.insertLine(c0+i, ln)
+	}
+
+	s.misses++
+	s.prefetched += uint64(n - 1)
+	if n == 1 {
+		// A window of one chunk is just the chunked fetch.
+		s.chargeChunk()
+	} else {
+		runBytes := n * (cs + TagSize)
+		extraBursts := uint64(axi.BurstsFor(runBytes) - 1)
+		dramBusy := s.params.DRAMCyclesShared(runBytes, s.dramShare) + extraBursts*s.params.DRAMRequestCycles
+		dramBus := s.params.DRAMCycles(runBytes) + extraBursts*s.params.DRAMRequestCycles
+		pool, hmac := s.cryptoStages(n)
+		s.chargeOverlapped(dramBusy, dramBus, pool, hmac, uint64(n*cs)/64, !s.seqStreak)
+		s.seqStreak = true
+	}
+	s.seqNext = c0 + n // a miss at the window's end continues the streak
 	return nil
 }
 
-// writeback encrypts and MACs a dirty line and stores ciphertext + tag.
-func (s *engineSet) writeback(chunk int) error {
-	ln := s.lines[chunk]
-	if ln == nil || !ln.dirty {
+// evictFor makes room for n incoming lines, writing dirty victims back.
+// Victims come off the LRU tail in strict recency order; their write-backs
+// — extended with any resident dirty lines chunk-contiguous with a dirty
+// victim, so one pipelined store covers the whole run (write combining) —
+// go through writebackChunks in sorted chunk order.
+func (s *engineSet) evictFor(n int) error {
+	need := len(s.lines) + n - s.capacity
+	if need <= 0 {
 		return nil
 	}
-	if s.cfg.Freshness {
-		s.counters[chunk]++ // bump before sealing the new epoch
+	// Fast path: the steady-state chunked miss evicts one clean line —
+	// O(1) off the list tail, no allocation (the common case the
+	// intrusive LRU exists for).
+	if need == 1 {
+		if ln := s.lruVictim(); ln != nil && !ln.dirty {
+			s.dropLine(ln)
+			s.evictions++
+			return nil
+		}
 	}
-	ct, tag := s.seal.sealChunk(chunk, s.counters[chunk], ln.data)
-	dataAddr, tagAddr := s.dramAddrs(chunk)
-	if _, err := s.port.WriteBurst(dataAddr, ct); err != nil {
-		return err
+	victims := make([]*bufLine, 0, need)
+	for ln := s.lruRoot.prev; ln != &s.lruRoot && len(victims) < need; ln = ln.prev {
+		victims = append(victims, ln)
 	}
-	if _, err := s.port.WriteBurst(tagAddr, tag[:]); err != nil {
-		return err
+	// Gather the dirty chunks to store: every dirty victim seeds a run
+	// that write combining extends across resident dirty neighbours (the
+	// neighbours stay resident, but leave clean).
+	dirtySet := make(map[int]bool)
+	limit := s.batchChunks()
+	extend := func(from, step int) {
+		for c, span := from, 1; span < limit; c, span = c+step, span+1 {
+			if nb, ok := s.lines[c]; !ok || !nb.dirty || dirtySet[c] {
+				return
+			}
+			dirtySet[c] = true
+		}
 	}
-	s.chargeChunk()
-	s.writebacks++
-	s.initialized[chunk] = true
-	ln.dirty = false
+	for _, ln := range victims {
+		if !ln.dirty {
+			continue
+		}
+		dirtySet[ln.chunk] = true
+		extend(ln.chunk-1, -1)
+		extend(ln.chunk+1, +1)
+	}
+	if len(dirtySet) > 0 {
+		dirty := make([]int, 0, len(dirtySet))
+		for c := range dirtySet {
+			dirty = append(dirty, c)
+		}
+		sort.Ints(dirty)
+		// No fill/drain charge: eviction write-backs interleave with the
+		// demand traffic that forced them, so the write pipeline is
+		// already primed (contrast flush, which drains it).
+		if err := s.writebackChunks(dirty, false); err != nil {
+			return err
+		}
+	}
+	for _, ln := range victims {
+		s.dropLine(ln)
+		s.evictions++
+	}
 	return nil
+}
+
+// writebackChunks seals and stores the given resident dirty chunks, which
+// must be sorted ascending. Maximal contiguous runs move through pipelined
+// windows of up to batchChunks: seal fan-out across the engine pool into
+// pooled staging, then one AXI store transaction for the run's ciphertext
+// and one for its tags, charged with the overlapped window accounting.
+// Runs of a single chunk keep the chunked ChunkTime charge — batching
+// cannot help them. Freshness counters bump exactly once per chunk before
+// sealing, and valid bits are set exactly as the serial path would.
+// fillDrain charges the one-time pipeline fill/drain on the first batched
+// window (a flush drains the pipeline; eviction write-backs do not).
+func (s *engineSet) writebackChunks(chunks []int, fillDrain bool) error {
+	if s.integrityErr != nil {
+		return s.integrityErr
+	}
+	first := fillDrain
+	cs := s.cfg.ChunkSize
+	return axi.ForEachRunCapped(chunks, s.batchChunks(), func(c0, n int) error {
+		if s.cfg.Freshness {
+			for i := 0; i < n; i++ {
+				s.counters[c0+i]++ // bump before sealing the new epoch
+			}
+		}
+		win := s.windows.Get().(*streamWindow)
+		defer s.windows.Put(win)
+		s.fanout(n, func(i int) {
+			chunk := c0 + i
+			var tag [TagSize]byte
+			s.seal.sealChunkInto(win.ct[i*cs:(i+1)*cs], &tag, chunk, s.counters[chunk], s.lines[chunk].data)
+			copy(win.tags[i*TagSize:], tag[:])
+		})
+		dataAddr, tagAddr := s.dramAddrs(c0)
+		if _, err := s.port.WriteBurst(dataAddr, win.ct[:n*cs]); err != nil {
+			return err
+		}
+		if _, err := s.port.WriteBurst(tagAddr, win.tags[:n*TagSize]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			chunk := c0 + i
+			s.initialized[chunk] = true
+			s.lines[chunk].dirty = false
+		}
+		s.writebacks += uint64(n)
+		if n == 1 {
+			s.chargeChunk()
+			return nil
+		}
+		runBytes := n * (cs + TagSize)
+		extraBursts := uint64(axi.BurstsFor(runBytes) - 1)
+		dramBusy := s.params.DRAMCyclesShared(runBytes, s.dramShare) + extraBursts*s.params.DRAMRequestCycles
+		dramBus := s.params.DRAMCycles(runBytes) + extraBursts*s.params.DRAMRequestCycles
+		pool, hmac := s.cryptoStages(n)
+		s.chargeOverlapped(dramBusy, dramBus, pool, hmac, uint64(n*cs)/64, first)
+		first = false
+		s.batchedWritebacks += uint64(n)
+		return nil
+	})
+}
+
+// fanout runs fn(0..n-1) across up to AESEngines goroutines — the engine
+// pool's parallelism made real. Callers hold s.mu, so worker reads of
+// counters, lines, and the sealer are exclusive with all mutation.
+func (s *engineSet) fanout(n int, fn func(i int)) {
+	workers := s.cfg.AESEngines
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// cryptoStages returns the engine-pool occupancy and serial-HMAC stage
+// times for a window of n chunks crossing the crypto pipeline.
+func (s *engineSet) cryptoStages(n int) (poolStage, hmacStage uint64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	pool := n * s.ctrBlocksPerChunk()
+	if s.cfg.MAC == PMAC {
+		pool += n * s.pmacBlocksPerChunk()
+	} else {
+		hmacStage = uint64(n) * s.hmacCyclesPerChunk()
+	}
+	return s.poolCycles(pool), hmacStage
+}
+
+// chargeOverlapped accounts one pipeline window under the overlapped
+// model: the window is paced by its slowest stage (DRAM, the AES pool, the
+// serial HMAC core, or the on-chip copy), the first window of a pipeline
+// additionally pays fill/drain, and the per-window issue cost replaces the
+// chunked path's per-chunk issue cost.
+func (s *engineSet) chargeOverlapped(dramBusy, dramBus, poolStage, hmacStage, copyStage uint64, first bool) {
+	s.busyCycles += s.params.StreamWindowTime(dramBusy, poolStage, hmacStage, copyStage) + s.params.ChunkIssueCycles
+	if first {
+		s.busyCycles += s.params.StreamFillDrain(dramBusy, poolStage, hmacStage, copyStage)
+	}
+	s.dramCycles += dramBus
 }
 
 // read copies region bytes [addr, addr+len(buf)) into buf and returns the
@@ -380,26 +718,29 @@ func (s *engineSet) write(addr uint64, data []byte) (uint64, error) {
 	return s.busyCycles - start, nil
 }
 
-// flush writes back every dirty line (end of kernel / result publication).
+// flush writes back every dirty line (end of kernel / result publication)
+// in ascending chunk order — deterministic DRAM write order and cycle
+// accounting — with contiguous runs batched through pipelined windows.
 func (s *engineSet) flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for idx := range s.lines {
-		if err := s.writeback(idx); err != nil {
-			return err
+	dirty := make([]int, 0, len(s.lines))
+	for idx, ln := range s.lines {
+		if ln.dirty {
+			dirty = append(dirty, idx)
 		}
 	}
-	return nil
+	sort.Ints(dirty)
+	return s.writebackChunks(dirty, true)
 }
 
 // invalidateClean drops clean buffer lines.
 func (s *engineSet) invalidateClean() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for idx, ln := range s.lines {
+	for _, ln := range s.lines {
 		if !ln.dirty {
-			s.linePool.Put(ln)
-			delete(s.lines, idx)
+			s.dropLine(ln)
 		}
 	}
 }
@@ -409,16 +750,19 @@ func (s *engineSet) stats() RegionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return RegionStats{
-		Name:          s.cfg.Name,
-		Channel:       s.cfg.Channel,
-		Hits:          s.hits,
-		Misses:        s.misses,
-		Evictions:     s.evictions,
-		Writebacks:    s.writebacks,
-		Streamed:      s.streamed,
-		StreamWindows: s.streamWindows,
-		BusyCycles:    s.busyCycles,
-		DRAMCycles:    s.dramCycles,
+		Name:              s.cfg.Name,
+		Channel:           s.cfg.Channel,
+		Hits:              s.hits,
+		Misses:            s.misses,
+		Evictions:         s.evictions,
+		Writebacks:        s.writebacks,
+		BatchedWritebacks: s.batchedWritebacks,
+		Streamed:          s.streamed,
+		StreamWindows:     s.streamWindows,
+		Prefetched:        s.prefetched,
+		PrefetchHits:      s.prefetchHits,
+		BusyCycles:        s.busyCycles,
+		DRAMCycles:        s.dramCycles,
 	}
 }
 
@@ -428,7 +772,9 @@ func (s *engineSet) resetStats() {
 	defer s.mu.Unlock()
 	s.busyCycles, s.dramCycles = 0, 0
 	s.hits, s.misses, s.evictions, s.writebacks = 0, 0, 0, 0
+	s.batchedWritebacks = 0
 	s.streamed, s.streamWindows = 0, 0
+	s.prefetched, s.prefetchHits = 0, 0
 }
 
 // markPreloaded sets every valid bit (host DMAed sealed data into DRAM).

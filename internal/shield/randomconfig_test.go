@@ -37,6 +37,7 @@ func randomConfig(rng *rand.Rand) Config {
 			MAC:         mac,
 			BufferBytes: chunk * (1 + rng.Intn(6)),
 			Freshness:   rng.Intn(2) == 1,
+			SeqPrefetch: rng.Intn(2) == 1,
 			Channel:     rng.Intn(3),
 		})
 		// Leave a random gap (or none) before the next region.

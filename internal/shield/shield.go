@@ -253,17 +253,29 @@ func (s *Shield) InvalidateClean() {
 
 // RegionStats is the per-engine-set activity report.
 type RegionStats struct {
-	Name                  string
-	Channel               int
+	Name    string
+	Channel int
+	// Hits counts chunk accesses served from the on-chip buffer
+	// (including the access that populated the line); Misses counts
+	// demand fetches and zero fills.
 	Hits, Misses          uint64
 	Evictions, Writebacks uint64
+	// BatchedWritebacks is the subset of Writebacks that travelled in
+	// multi-chunk pipelined store windows (flush and bulk-eviction
+	// batching) under the overlapped accounting; the remainder paid the
+	// chunked per-chunk charge.
+	BatchedWritebacks uint64
 	// Streamed counts every chunk moved by the pipelined
 	// ReadStream/WriteStream path — fetched from DRAM, served from a
 	// resident line, or zero-filled — and StreamWindows counts the
 	// pipeline windows those chunks travelled in.
 	Streamed, StreamWindows uint64
-	BusyCycles              uint64
-	DRAMCycles              uint64
+	// Prefetched counts chunks the adaptive sequential prefetcher fetched
+	// ahead of demand; PrefetchHits counts prefetched lines that later
+	// served a demand access (each line counted once).
+	Prefetched, PrefetchHits uint64
+	BusyCycles               uint64
+	DRAMCycles               uint64
 }
 
 // Report summarises simulated cost since provisioning.

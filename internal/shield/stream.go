@@ -2,7 +2,6 @@ package shield
 
 import (
 	"fmt"
-	"sync"
 
 	"shef/internal/axi"
 )
@@ -114,8 +113,7 @@ func (s *engineSet) readWindow(addr uint64, buf []byte, first bool) (uint64, err
 		dst := buf[i*cs : (i+1)*cs]
 		if ln, ok := s.lines[chunk]; ok {
 			// Resident lines (clean or dirty) are authoritative.
-			s.lruTick++
-			ln.tick = s.lruTick
+			s.touchResident(ln)
 			copy(dst, ln.data)
 			s.hits++
 		} else if !s.initialized[chunk] {
@@ -159,39 +157,17 @@ func (s *engineSet) readWindow(addr uint64, buf []byte, first bool) (uint64, err
 }
 
 // openFanout verifies and decrypts the fetched chunks of a window into
-// buf, on up to AESEngines goroutines. Callers hold s.mu, so worker reads
-// of counters and the sealer are exclusive with all mutation.
+// buf, on up to AESEngines goroutines (the shared fanout helper). Callers
+// hold s.mu, so worker reads of counters and the sealer are exclusive with
+// all mutation.
 func (s *engineSet) openFanout(win *streamWindow, fetch []int, c0, cs int, buf []byte) error {
-	open := func(slot int) error {
+	s.fanout(len(fetch), func(slot int) {
 		i := fetch[slot]
 		chunk := c0 + i
 		var tag [TagSize]byte
 		copy(tag[:], win.tags[i*TagSize:])
-		return s.seal.openChunkInto(buf[i*cs:(i+1)*cs], chunk, s.counters[chunk], win.ct[i*cs:(i+1)*cs], tag)
-	}
-	workers := s.cfg.AESEngines
-	if workers > len(fetch) {
-		workers = len(fetch)
-	}
-	if workers <= 1 {
-		for slot := range fetch {
-			if err := open(slot); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for slot := w; slot < len(fetch); slot += workers {
-				win.errs[slot] = open(slot)
-			}
-		}(w)
-	}
-	wg.Wait()
+		win.errs[slot] = s.seal.openChunkInto(buf[i*cs:(i+1)*cs], chunk, s.counters[chunk], win.ct[i*cs:(i+1)*cs], tag)
+	})
 	for slot := range fetch {
 		if err := win.errs[slot]; err != nil {
 			win.errs[slot] = nil
@@ -233,33 +209,12 @@ func (s *engineSet) writeWindow(addr uint64, data []byte, first bool) (uint64, e
 	}
 
 	// Stage 1: seal fan-out across the engine pool.
-	seal := func(i int) {
+	s.fanout(n, func(i int) {
 		chunk := c0 + i
 		var tag [TagSize]byte
 		s.seal.sealChunkInto(win.ct[i*cs:(i+1)*cs], &tag, chunk, s.counters[chunk], data[i*cs:(i+1)*cs])
 		copy(win.tags[i*TagSize:], tag[:])
-	}
-	workers := s.cfg.AESEngines
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			seal(i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for i := w; i < n; i += workers {
-					seal(i)
-				}
-			}(w)
-		}
-		wg.Wait()
-	}
+	})
 
 	// Stage 2: one batched store for the window's ciphertext and tags.
 	dataAddr, tagAddr := s.dramAddrs(c0)
@@ -277,8 +232,7 @@ func (s *engineSet) writeWindow(addr uint64, data []byte, first bool) (uint64, e
 	for i := 0; i < n; i++ {
 		chunk := c0 + i
 		if ln, ok := s.lines[chunk]; ok {
-			s.linePool.Put(ln)
-			delete(s.lines, chunk)
+			s.dropLine(ln)
 		}
 		s.initialized[chunk] = true
 	}
@@ -304,22 +258,8 @@ func (s *engineSet) writeWindow(addr uint64, data []byte, first bool) (uint64, e
 // pipeline (reads served from resident lines or valid bits skip it);
 // chunks is everything the window moved, which is what Streamed reports.
 func (s *engineSet) chargeWindow(fetched, chunks, bytes int, dramBusy, dramBus uint64, first bool) {
-	var poolStage, hmacStage uint64
-	if fetched > 0 {
-		pool := fetched * s.ctrBlocksPerChunk()
-		if s.cfg.MAC == PMAC {
-			pool += fetched * s.pmacBlocksPerChunk()
-		} else {
-			hmacStage = uint64(fetched) * s.hmacCyclesPerChunk()
-		}
-		poolStage = s.poolCycles(pool)
-	}
-	copyStage := uint64(bytes) / 64
-	s.busyCycles += s.params.StreamWindowTime(dramBusy, poolStage, hmacStage, copyStage) + s.params.ChunkIssueCycles
-	if first {
-		s.busyCycles += s.params.StreamFillDrain(dramBusy, poolStage, hmacStage, copyStage)
-	}
-	s.dramCycles += dramBus
+	poolStage, hmacStage := s.cryptoStages(fetched)
+	s.chargeOverlapped(dramBusy, dramBus, poolStage, hmacStage, uint64(bytes)/64, first)
 	s.streamed += uint64(chunks)
 	s.streamWindows++
 }
