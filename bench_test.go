@@ -17,6 +17,7 @@ import (
 
 	"shef/internal/accel"
 	"shef/internal/experiments"
+	"shef/internal/perf"
 )
 
 func scale(b *testing.B) experiments.Scale {
@@ -248,6 +249,29 @@ func BenchmarkClusterGoroutines(b *testing.B) {
 			r.Shards, r.Workers, r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
 		b.ReportMetric(r.OpsPerSec, fmt.Sprintf("ops/sec-%dworker", r.Workers))
 	}
+}
+
+// BenchmarkORAMPath prices the oblivious data path on the serving-tier
+// Shield configuration: simulated path latency and bandwidth efficiency of
+// the batched scatter-gather controller, and its speedup over the serial
+// per-bucket baseline. The sim-* metrics are deterministic (the eviction
+// order is sorted, the seeds fixed), so benchtab -check gates them.
+func BenchmarkORAMPath(b *testing.B) {
+	var serial, batched experiments.ORAMPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		serial, batched, err = experiments.ORAMPathSweep(scale(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("serial  %8.0f cyc/access  %5.1fx amplification", serial.CyclesPerAccess, serial.Amplification)
+	b.Logf("batched %8.0f cyc/access  %5.1fx amplification", batched.CyclesPerAccess, batched.Amplification)
+	// All gated metrics are higher-is-better: accesses/sec for path
+	// latency, logical bytes per backend byte for amplification.
+	b.ReportMetric(serial.CyclesPerAccess/batched.CyclesPerAccess, "sim-oram-speedup-x")
+	b.ReportMetric(perf.Default().ClockHz/batched.CyclesPerAccess, "sim-oram-access/sec")
+	b.ReportMetric(1000/batched.Amplification, "sim-oram-kB-per-MB-moved")
 }
 
 // BenchmarkORAMAmplification prices the §5.2.2 ORAM extension: the

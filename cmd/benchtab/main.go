@@ -30,6 +30,7 @@ func main() {
 	fig := flag.Int("fig", 0, "regenerate Figure N (5 or 6)")
 	bootFlag := flag.Bool("boot", false, "print the §6.1 boot timeline")
 	cluster := flag.Bool("cluster", false, "run the SDP cluster throughput sweeps (ops/sec vs shards and goroutines)")
+	oramFlag := flag.Bool("oram", false, "run the Path ORAM path-cost sweep (serial vs batched, §5.2.2)")
 	all := flag.Bool("all", false, "regenerate everything")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
 	jsonFlag := flag.Bool("json", false, "parse `go test -bench` output on stdin into JSON on stdout")
@@ -82,6 +83,10 @@ func main() {
 	if *all || *cluster {
 		any = true
 		printCluster(scale)
+	}
+	if *all || *oramFlag {
+		any = true
+		printORAM(scale)
 	}
 	if !any {
 		flag.Usage()
@@ -202,6 +207,23 @@ func printCluster(scale experiments.Scale) {
 		fmt.Printf("%7d %8d %7d %10s %12.0f\n",
 			r.Shards, r.Workers, r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
 	}
+	fmt.Println()
+}
+
+func printORAM(scale experiments.Scale) {
+	fmt.Println("== Path ORAM path cost: serial per-bucket vs batched gather (§5.2.2) ==")
+	serial, batched, err := experiments.ORAMPathSweep(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-20s %16s %16s\n", "mode", "cycles/access", "amplification")
+	for _, p := range []experiments.ORAMPoint{serial, batched} {
+		fmt.Printf("%-20s %16.0f %15.1fx\n", p.Mode, p.CyclesPerAccess, p.Amplification)
+	}
+	fmt.Printf("batched path speedup at %d blocks × %d B: %.2fx (TestORAMBatchedSpeedup gates ≥1.5x at 4096)\n",
+		batched.Blocks, batched.BlockSize, serial.CyclesPerAccess/batched.CyclesPerAccess)
+	fmt.Println("(every access moves one root-to-leaf path; the batched mode streams it as one")
+	fmt.Println(" scatter-gather transaction per contiguous run with fill/drain paid once)")
 	fmt.Println()
 }
 

@@ -87,6 +87,79 @@ func StreamWindows(base, addr uint64, n, chunkSize, windowChunks int,
 	return total, nil
 }
 
+// Gatherer is an optional MemoryPort extension for scatter-gather bulk
+// transfers: the runs — disjoint, ascending, chunk-aligned where the port
+// requires it — travel as ONE pipelined stream, so the pipeline fill/drain
+// cost is paid once per gather instead of once per run. buf/data pack the
+// runs back to back in order. The Shield's stream engine implements it;
+// Path ORAM uses it to move a whole root-to-leaf path per access.
+type Gatherer interface {
+	ReadGather(runs []Burst, buf []byte) (cycles uint64, err error)
+	WriteGather(runs []Burst, data []byte) (cycles uint64, err error)
+}
+
+// checkGather validates what every gather implementation must hold: runs
+// with positive lengths whose total matches the packed buffer. (Ports add
+// their own constraints on top — the Shield also requires chunk-aligned,
+// ascending, disjoint runs.)
+func checkGather(runs []Burst, n int) error {
+	total := 0
+	for _, r := range runs {
+		if r.Len <= 0 {
+			return fmt.Errorf("axi: gather run %v has no length", r)
+		}
+		total += r.Len
+	}
+	if total != n {
+		return fmt.Errorf("axi: gather buffer %d bytes, runs carry %d", n, total)
+	}
+	return nil
+}
+
+// ReadGatherAuto reads the runs through the port's gather engine when it
+// has one, falling back to one ReadAuto per run.
+func ReadGatherAuto(p MemoryPort, runs []Burst, buf []byte) (uint64, error) {
+	if err := checkGather(runs, len(buf)); err != nil {
+		return 0, err
+	}
+	if g, ok := p.(Gatherer); ok {
+		return g.ReadGather(runs, buf)
+	}
+	var total uint64
+	off := 0
+	for _, r := range runs {
+		c, err := ReadAuto(p, r.Addr, buf[off:off+r.Len])
+		total += c
+		if err != nil {
+			return total, err
+		}
+		off += r.Len
+	}
+	return total, nil
+}
+
+// WriteGatherAuto writes the runs through the port's gather engine when it
+// has one, falling back to one WriteAuto per run.
+func WriteGatherAuto(p MemoryPort, runs []Burst, data []byte) (uint64, error) {
+	if err := checkGather(runs, len(data)); err != nil {
+		return 0, err
+	}
+	if g, ok := p.(Gatherer); ok {
+		return g.WriteGather(runs, data)
+	}
+	var total uint64
+	off := 0
+	for _, r := range runs {
+		c, err := WriteAuto(p, r.Addr, data[off:off+r.Len])
+		total += c
+		if err != nil {
+			return total, err
+		}
+		off += r.Len
+	}
+	return total, nil
+}
+
 // ForEachRun groups ascending indices into maximal contiguous runs and
 // invokes fn(i0, n) for each run of n consecutive indices starting at
 // i0. Streaming ports use it to coalesce chunk fetches into batched
@@ -212,6 +285,45 @@ func (c *CheckedPort) WriteBurst(addr uint64, data []byte) (uint64, error) {
 		return 0, err
 	}
 	return c.Inner.WriteBurst(addr, data)
+}
+
+// ReadStream implements Streamer by delegating to the inner port's
+// streaming path when it has one, so fencing a Shield behind a CheckedPort
+// does not silently degrade ReadAuto/WriteAuto to the chunked path.
+func (c *CheckedPort) ReadStream(addr uint64, buf []byte) (uint64, error) {
+	if err := c.check(addr, len(buf)); err != nil {
+		return 0, err
+	}
+	return ReadAuto(c.Inner, addr, buf)
+}
+
+// WriteStream implements Streamer (see ReadStream).
+func (c *CheckedPort) WriteStream(addr uint64, data []byte) (uint64, error) {
+	if err := c.check(addr, len(data)); err != nil {
+		return 0, err
+	}
+	return WriteAuto(c.Inner, addr, data)
+}
+
+// ReadGather implements Gatherer by delegating to the inner port (see
+// ReadStream): every run is fenced individually.
+func (c *CheckedPort) ReadGather(runs []Burst, buf []byte) (uint64, error) {
+	for _, r := range runs {
+		if err := c.check(r.Addr, r.Len); err != nil {
+			return 0, err
+		}
+	}
+	return ReadGatherAuto(c.Inner, runs, buf)
+}
+
+// WriteGather implements Gatherer (see ReadGather).
+func (c *CheckedPort) WriteGather(runs []Burst, data []byte) (uint64, error) {
+	for _, r := range runs {
+		if err := c.check(r.Addr, r.Len); err != nil {
+			return 0, err
+		}
+	}
+	return WriteGatherAuto(c.Inner, runs, data)
 }
 
 func (c *CheckedPort) check(addr uint64, n int) error {

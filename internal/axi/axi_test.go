@@ -150,3 +150,93 @@ func TestForEachRunCapped(t *testing.T) {
 		}
 	}
 }
+
+// gatherSpy wraps a MemoryPort and records whether the gather path ran.
+type gatherSpy struct {
+	MemoryPort
+	gathered bool
+}
+
+func (g *gatherSpy) ReadGather(runs []Burst, buf []byte) (uint64, error) {
+	g.gathered = true
+	return ReadGatherAuto(g.MemoryPort, runs, buf)
+}
+
+func (g *gatherSpy) WriteGather(runs []Burst, data []byte) (uint64, error) {
+	g.gathered = true
+	return WriteGatherAuto(g.MemoryPort, runs, data)
+}
+
+func TestGatherAutoDispatch(t *testing.T) {
+	d := mem.NewDRAM(1<<20, perf.Default())
+	runs := []Burst{{Addr: 0, Len: 4}, {Addr: 64, Len: 8}, {Addr: 256, Len: 4}}
+	packed := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	// Plain port: one WriteAuto per run, scattered to the right addresses.
+	if _, err := WriteGatherAuto(d, runs, packed); err != nil {
+		t.Fatal(err)
+	}
+	var probe [8]byte
+	if _, err := d.ReadBurst(64, probe[:]); err != nil {
+		t.Fatal(err)
+	}
+	if probe[0] != 5 || probe[7] != 12 {
+		t.Fatalf("scattered write misplaced: %v", probe)
+	}
+	// And gathered back in run order.
+	got := make([]byte, len(packed))
+	if _, err := ReadGatherAuto(d, runs, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range packed {
+		if got[i] != packed[i] {
+			t.Fatalf("gather read byte %d: got %d want %d", i, got[i], packed[i])
+		}
+	}
+	// Gather-capable port: dispatches to the gather engine.
+	spy := &gatherSpy{MemoryPort: d}
+	if _, err := WriteGatherAuto(spy, runs, packed); err != nil {
+		t.Fatal(err)
+	}
+	if !spy.gathered {
+		t.Fatal("WriteGatherAuto ignored the gather path")
+	}
+	spy.gathered = false
+	if _, err := ReadGatherAuto(spy, runs, got); err != nil {
+		t.Fatal(err)
+	}
+	if !spy.gathered {
+		t.Fatal("ReadGatherAuto ignored the gather path")
+	}
+}
+
+// TestCheckedPortStreamAndGather: fencing a streaming/gathering port keeps
+// the fast paths (no silent degradation to chunked bursts) while every run
+// is still bounds-checked.
+func TestCheckedPortStreamAndGather(t *testing.T) {
+	d := mem.NewDRAM(1<<20, perf.Default())
+	spy := &gatherSpy{MemoryPort: d}
+	cp := &CheckedPort{Inner: spy, Base: 0, Limit: 1 << 12}
+	runs := []Burst{{Addr: 0, Len: 8}, {Addr: 128, Len: 8}}
+	if _, err := cp.WriteGather(runs, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if !spy.gathered {
+		t.Fatal("CheckedPort dropped the inner gather path")
+	}
+	bad := []Burst{{Addr: 0, Len: 8}, {Addr: 1 << 12, Len: 8}}
+	if _, err := cp.ReadGather(bad, make([]byte, 16)); err == nil {
+		t.Fatal("out-of-window gather run accepted")
+	}
+	// Streamer passthrough (ReadAuto sees a Streamer and must not lose it).
+	sspy := &streamSpy{MemoryPort: d}
+	scp := &CheckedPort{Inner: sspy, Base: 0, Limit: 1 << 12}
+	if _, err := ReadAuto(scp, 0, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if !sspy.streamed {
+		t.Fatal("CheckedPort dropped the inner streaming path")
+	}
+	if _, err := scp.WriteStream(1<<12, make([]byte, 8)); err == nil {
+		t.Fatal("out-of-window stream accepted")
+	}
+}

@@ -31,16 +31,13 @@ type AblationRow struct {
 	OCMBits uint64
 }
 
-// ablationShield builds a one-region Shield with the given knobs.
-func ablationShield(chunk, bufBytes int, mac shield.MACKind, fresh bool, size uint64) (*shield.Shield, *mem.OCM, error) {
-	cfg := shield.Config{Regions: []shield.RegionConfig{{
-		Name: "r", Base: 0, Size: size, ChunkSize: chunk,
-		AESEngines: 1, SBox: aesx.SBox16x, KeySize: aesx.AES128,
-		MAC: mac, BufferBytes: bufBytes, Freshness: fresh,
-	}}}
+// buildShield provisions a one-region Shield over fresh DRAM/OCM — the
+// shared boilerplate for every single-region experiment.
+func buildShield(region shield.RegionConfig) (*shield.Shield, *mem.OCM, error) {
+	cfg := shield.Config{Regions: []shield.RegionConfig{region}}
 	params := perf.Default()
-	dram := mem.NewDRAM(size*2+1<<20, params)
-	ocm := mem.NewOCM(1 << 30)
+	dram := mem.NewDRAM(region.Size*2+1<<20, params)
+	ocm := mem.NewOCM(1 << 31)
 	priv, err := schnorr.GenerateKey(modp.TestGroup, nil)
 	if err != nil {
 		return nil, nil, err
@@ -58,6 +55,15 @@ func ablationShield(chunk, bufBytes int, mac shield.MACKind, fresh bool, size ui
 		return nil, nil, err
 	}
 	return sh, ocm, nil
+}
+
+// ablationShield builds a one-region Shield with the given knobs.
+func ablationShield(chunk, bufBytes int, mac shield.MACKind, fresh bool, size uint64) (*shield.Shield, *mem.OCM, error) {
+	return buildShield(shield.RegionConfig{
+		Name: "r", Base: 0, Size: size, ChunkSize: chunk,
+		AESEngines: 1, SBox: aesx.SBox16x, KeySize: aesx.AES128,
+		MAC: mac, BufferBytes: bufBytes, Freshness: fresh,
+	})
 }
 
 // AblationChunkSize sweeps Cmem for two access patterns: sequential

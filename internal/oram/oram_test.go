@@ -3,6 +3,7 @@ package oram
 import (
 	"bytes"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"shef/internal/crypto/aesx"
@@ -26,24 +27,52 @@ func newORAM(t *testing.T, blocks, blockSize int) (*ORAM, *recorder) {
 	return o, rec
 }
 
-// recorder logs every backend access address for obliviousness checks.
+// recorder logs every backend access for obliviousness checks.
+type span struct {
+	addr uint64
+	n    int
+}
+
 type recorder struct {
 	inner  *mem.DRAM
-	reads  []uint64
-	writes []uint64
+	reads  []span
+	writes []span
 }
 
 func (r *recorder) ReadBurst(addr uint64, buf []byte) (uint64, error) {
-	r.reads = append(r.reads, addr)
+	r.reads = append(r.reads, span{addr, len(buf)})
 	return r.inner.ReadBurst(addr, buf)
 }
 
 func (r *recorder) WriteBurst(addr uint64, data []byte) (uint64, error) {
-	r.writes = append(r.writes, addr)
+	r.writes = append(r.writes, span{addr, len(data)})
 	return r.inner.WriteBurst(addr, data)
 }
 
 func (r *recorder) reset() { r.reads, r.writes = nil, nil }
+
+// buckets decomposes recorded spans into the bucket indices they cover,
+// given the controller's stride.
+func bucketsOf(spans []span, stride int, t *testing.T) []int {
+	t.Helper()
+	set := map[int]bool{}
+	for _, s := range spans {
+		if s.addr%uint64(stride) != 0 {
+			t.Fatalf("span at %#x not bucket-aligned (stride %d)", s.addr, stride)
+		}
+		first := int(s.addr / uint64(stride))
+		n := (s.n + stride - 1) / stride
+		for j := 0; j < n; j++ {
+			set[first+j] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
 
 func TestORAMMatchesFlatMemory(t *testing.T) {
 	const blocks, bs = 64, 64
@@ -76,9 +105,11 @@ func TestORAMMatchesFlatMemory(t *testing.T) {
 }
 
 // TestORAMAccessPatternIsPathShaped: every access touches exactly one
-// root-to-leaf path — levels+1 bucket reads and the same bucket writes —
-// regardless of which logical block is requested. This is Path ORAM's
-// obliviousness invariant at the structural level.
+// root-to-leaf path of backend traffic — levels+1 buckets, read and
+// written in full, regardless of which logical block is requested. This is
+// Path ORAM's obliviousness invariant at the structural level, and it must
+// hold on the batched path too: runs merge transactions, but the bucket
+// set they cover is still exactly the path.
 func TestORAMAccessPatternIsPathShaped(t *testing.T) {
 	const blocks, bs = 32, 64
 	o, rec := newORAM(t, blocks, bs)
@@ -88,15 +119,25 @@ func TestORAMAccessPatternIsPathShaped(t *testing.T) {
 		if _, err := o.Read(i % blocks); err != nil {
 			t.Fatal(err)
 		}
-		if len(rec.reads) != want || len(rec.writes) != want {
-			t.Fatalf("access %d: %d reads / %d writes, want %d each",
-				i, len(rec.reads), len(rec.writes), want)
+		reads := bucketsOf(rec.reads, o.stride, t)
+		writes := bucketsOf(rec.writes, o.stride, t)
+		if len(reads) != want || len(writes) != want {
+			t.Fatalf("access %d: %d buckets read / %d written, want %d each",
+				i, len(reads), len(writes), want)
 		}
-		// The same buckets are read and written (in reverse order), and
-		// they form a valid path: each bucket is the heap parent chain.
-		for j := range rec.reads {
-			if rec.reads[j] != rec.writes[len(rec.writes)-1-j] {
+		for j := range reads {
+			if reads[j] != writes[j] {
 				t.Fatalf("access %d: read/write bucket sets differ", i)
+			}
+		}
+		// The buckets form one valid root-to-leaf path: ascending heap
+		// indices chained by the parent relation.
+		if reads[0] != 0 {
+			t.Fatalf("access %d: path does not start at the root", i)
+		}
+		for j := 1; j < len(reads); j++ {
+			if (reads[j]-1)/2 != reads[j-1] {
+				t.Fatalf("access %d: bucket %d is not a child of %d", i, reads[j], reads[j-1])
 			}
 		}
 	}
@@ -107,15 +148,15 @@ func TestORAMAccessPatternIsPathShaped(t *testing.T) {
 func TestORAMAddressDistributionUniform(t *testing.T) {
 	const blocks, bs = 64, 64
 	o, rec := newORAM(t, blocks, bs)
-	leafCount := map[uint64]int{}
+	leafCount := map[int]int{}
 	const trials = 600
 	for i := 0; i < trials; i++ {
 		rec.reset()
 		if _, err := o.Read(5); err != nil { // always the same block
 			t.Fatal(err)
 		}
-		leafBucket := rec.reads[len(rec.reads)-1]
-		leafCount[leafBucket]++
+		bks := bucketsOf(rec.reads, o.stride, t)
+		leafCount[bks[len(bks)-1]]++
 	}
 	leaves := 1 << o.levels
 	if len(leafCount) < leaves/2 {
@@ -123,7 +164,7 @@ func TestORAMAddressDistributionUniform(t *testing.T) {
 	}
 	for leaf, n := range leafCount {
 		if n > trials/4 {
-			t.Fatalf("leaf %#x hit %d/%d times: distribution far from uniform", leaf, n, trials)
+			t.Fatalf("leaf bucket %d hit %d/%d times: distribution far from uniform", leaf, n, trials)
 		}
 	}
 }

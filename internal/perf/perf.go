@@ -64,6 +64,12 @@ type Params struct {
 	// PrefetchWindowChunks is how many chunks one prefetch window moves
 	// (capped by the engine set's staging window and buffer capacity).
 	PrefetchWindowChunks int
+
+	// ORAMBatchBuckets caps how many tree buckets one batched ORAM path
+	// transaction carries (the oram controller's analogue of
+	// WritebackBatchChunks): contiguous runs of path buckets longer than
+	// this are split into separate ReadAuto/WriteAuto transfers.
+	ORAMBatchBuckets int
 }
 
 // Default returns the calibrated F1 parameter set.
@@ -80,6 +86,7 @@ func Default() Params {
 		WritebackBatchChunks: 16,
 		PrefetchMinMisses:    4,
 		PrefetchWindowChunks: 16,
+		ORAMBatchBuckets:     8,
 	}
 }
 

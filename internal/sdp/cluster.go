@@ -328,6 +328,11 @@ type ClusterStats struct {
 	// max-across-engine-sets wall-clock model.
 	BusyCycles uint64
 	MaxBusy    uint64
+	// ORAMAccesses/ORAMBytesMoved aggregate the oblivious store traffic
+	// across shards (zero unless the fleet runs with NodeConfig.Oblivious):
+	// the measured price of hiding the access pattern fleet-wide.
+	ORAMAccesses   uint64
+	ORAMBytesMoved uint64
 }
 
 // Stats snapshots the cluster's counters.
@@ -347,6 +352,11 @@ func (c *Cluster) Stats() ClusterStats {
 		st.BusyCycles += busy
 		if busy > st.MaxBusy {
 			st.MaxBusy = busy
+		}
+		if o := n.ORAM(); o != nil {
+			acc, moved, _ := o.Stats()
+			st.ORAMAccesses += acc
+			st.ORAMBytesMoved += moved
 		}
 	}
 	return st

@@ -11,6 +11,7 @@
 package sdp
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"shef/internal/crypto/modp"
 	"shef/internal/crypto/schnorr"
 	"shef/internal/mem"
+	"shef/internal/oram"
 	"shef/internal/perf"
 	"shef/internal/shield"
 )
@@ -42,6 +44,13 @@ type NodeConfig struct {
 	MAC shield.MACKind
 	// BufferBytes is the per-set buffer (16 KB in the paper).
 	BufferBytes int
+	// Oblivious fronts the store region with a Path ORAM (§5.2.2): file
+	// blocks are placed by oblivious path accesses, so a cloud operator
+	// watching the storage device's address bus cannot tell which file —
+	// and therefore which user — a request serves. The Shield still hides
+	// contents; the ORAM hides the access pattern, at a measured bandwidth
+	// amplification.
+	Oblivious bool
 }
 
 // Table2Configs are the five Shield configurations of the paper's Table 2,
@@ -93,6 +102,7 @@ type Node struct {
 	dram   *mem.DRAM
 	params perf.Params
 	dek    []byte
+	oram   *oram.ORAM // non-nil in oblivious mode; fronts the store region
 
 	mu        sync.Mutex
 	userKeys  map[string][]byte
@@ -106,8 +116,32 @@ type fileEntry struct {
 	user string
 }
 
-func (c NodeConfig) storeSize() uint64 { return uint64(c.Slots * c.SlotBytes) }
-func (c NodeConfig) tlsSize() uint64   { return uint64(c.SlotBytes) }
+// oramConfig shapes the store-region ORAM: one ORAM block per auth block,
+// buckets padded to the chunk size so bucket stores stream as full-chunk
+// writes, position map recursing once the table outgrows 4K entries.
+func (c NodeConfig) oramConfig(seed int64) oram.Config {
+	return oram.Config{
+		Base:            storeBase,
+		Blocks:          c.Slots * c.SlotBytes / c.AuthBlock,
+		BlockSize:       c.AuthBlock,
+		Seed:            seed,
+		ChunkAlign:      c.AuthBlock,
+		PosMapThreshold: 4096,
+	}
+}
+
+func (c NodeConfig) storeSize() uint64 {
+	if !c.Oblivious {
+		return uint64(c.Slots * c.SlotBytes)
+	}
+	// The ORAM tree (plus recursive position maps) replaces the flat slot
+	// array; the region must cover its footprint in whole chunks.
+	f := c.oramConfig(0).FootprintBytes()
+	a := uint64(c.AuthBlock)
+	return (f + a - 1) / a * a
+}
+
+func (c NodeConfig) tlsSize() uint64 { return uint64(c.SlotBytes) }
 
 // ShieldConfig builds the two identical engine sets of §6.2.3.
 func (c NodeConfig) ShieldConfig() shield.Config {
@@ -141,6 +175,14 @@ func NewNode(cfg NodeConfig, dek []byte, params perf.Params) (*Node, error) {
 	if cfg.SlotBytes%cfg.AuthBlock != 0 {
 		return nil, errors.New("sdp: slot size must be a multiple of the auth block")
 	}
+	if cfg.Oblivious {
+		if cfg.Slots*cfg.SlotBytes/cfg.AuthBlock < 2 {
+			return nil, errors.New("sdp: oblivious node needs at least two auth blocks of store")
+		}
+		if len(dek) < 8 {
+			return nil, errors.New("sdp: oblivious node needs a session DEK of at least 8 bytes")
+		}
+	}
 	scfg := cfg.ShieldConfig()
 	if err := scfg.Validate(); err != nil {
 		return nil, err
@@ -168,7 +210,7 @@ func NewNode(cfg NodeConfig, dek []byte, params perf.Params) (*Node, error) {
 	if err := sh.ProvisionLoadKey(lk); err != nil {
 		return nil, err
 	}
-	return &Node{
+	n := &Node{
 		cfg:       cfg,
 		sh:        sh,
 		dram:      dram,
@@ -176,7 +218,17 @@ func NewNode(cfg NodeConfig, dek []byte, params perf.Params) (*Node, error) {
 		dek:       append([]byte(nil), dek...),
 		userKeys:  make(map[string][]byte),
 		directory: make(map[string]fileEntry),
-	}, nil
+	}
+	if cfg.Oblivious {
+		// The leaf-draw seed derives from the session DEK: deterministic
+		// per session, invisible to the host.
+		seed := int64(binary.LittleEndian.Uint64(dek[:8]))
+		n.oram, err = oram.NewWithConfig(sh, cfg.oramConfig(seed))
+		if err != nil {
+			return nil, fmt.Errorf("sdp: oblivious store: %w", err)
+		}
+	}
+	return n, nil
 }
 
 // ProvisionUserKeys installs the CN's user-key database (paper: "The CN
@@ -274,12 +326,47 @@ func (n *Node) Put(user, name string, payload []byte) error {
 		return err
 	}
 	n.sealForUser(user, name, buf[:len(payload)])
-	addr := uint64(storeBase + entry.slot*n.cfg.SlotBytes)
-	if _, err := n.sh.WriteBurst(addr, buf); err != nil {
+	if err := n.storeWrite(entry.slot, buf); err != nil {
 		return err
 	}
 	n.directory[name] = entry
 	return n.sh.Flush()
+}
+
+// storeWrite places a slot image (whole auth blocks) in the store region:
+// directly addressed in the flat layout, or block by block through the
+// ORAM in oblivious mode, where each auth block is one oblivious access.
+func (n *Node) storeWrite(slot int, buf []byte) error {
+	if n.oram == nil {
+		addr := uint64(storeBase + slot*n.cfg.SlotBytes)
+		_, err := n.sh.WriteBurst(addr, buf)
+		return err
+	}
+	base := slot * (n.cfg.SlotBytes / n.cfg.AuthBlock)
+	for i := 0; i < len(buf)/n.cfg.AuthBlock; i++ {
+		if err := n.oram.Write(base+i, buf[i*n.cfg.AuthBlock:(i+1)*n.cfg.AuthBlock]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// storeRead is the read side of storeWrite.
+func (n *Node) storeRead(slot int, buf []byte) error {
+	if n.oram == nil {
+		addr := uint64(storeBase + slot*n.cfg.SlotBytes)
+		_, err := n.sh.ReadBurst(addr, buf)
+		return err
+	}
+	base := slot * (n.cfg.SlotBytes / n.cfg.AuthBlock)
+	for i := 0; i < len(buf)/n.cfg.AuthBlock; i++ {
+		blk, err := n.oram.Read(base + i)
+		if err != nil {
+			return err
+		}
+		copy(buf[i*n.cfg.AuthBlock:], blk)
+	}
+	return nil
 }
 
 // Get retrieves a file for a user and returns the plaintext as the
@@ -297,9 +384,8 @@ func (n *Node) Get(user, name string) ([]byte, error) {
 	if entry.user != user {
 		return nil, fmt.Errorf("sdp: user %q may not access %q (GDPR policy)", user, name)
 	}
-	addr := uint64(storeBase + entry.slot*n.cfg.SlotBytes)
 	buf := make([]byte, alignUp(entry.size, n.cfg.AuthBlock))
-	if _, err := n.sh.ReadBurst(addr, buf); err != nil {
+	if err := n.storeRead(entry.slot, buf); err != nil {
 		return nil, err
 	}
 	n.sealForUser(user, name, buf[:entry.size]) // CTR layer is an involution
@@ -332,6 +418,10 @@ func (n *Node) ResetStats() { n.sh.ResetStats() }
 
 // Shield exposes the underlying shield (controller provisioning, tests).
 func (n *Node) Shield() *shield.Shield { return n.sh }
+
+// ORAM exposes the oblivious store controller (nil unless the node was
+// built with Oblivious set).
+func (n *Node) ORAM() *oram.ORAM { return n.oram }
 
 // DRAM exposes the device memory for adversarial tests.
 func (n *Node) DRAM() *mem.DRAM { return n.dram }

@@ -1,0 +1,187 @@
+package shield
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"shef/internal/axi"
+)
+
+// gatherRuns builds chunk-aligned runs over the data region plus the
+// packed image the runs carry out of img.
+func gatherRuns(img []byte, spans [][2]int) ([]axi.Burst, []byte) {
+	var runs []axi.Burst
+	var packed []byte
+	for _, s := range spans {
+		runs = append(runs, axi.Burst{Addr: uint64(s[0]), Len: s[1]})
+		packed = append(packed, img[s[0]:s[0]+s[1]]...)
+	}
+	return runs, packed
+}
+
+func TestGatherReadMatchesChunked(t *testing.T) {
+	rig := newRig(t, simpleConfig())
+	img := make([]byte, 1<<16)
+	rand.New(rand.NewSource(17)).Read(img)
+	fillRegion(t, rig, 0, img)
+
+	// Scattered runs, including adjacent ones that merge into one window
+	// and a run longer than one window.
+	runs, want := gatherRuns(img, [][2]int{{0, 512}, {512, 1024}, {4096, 512}, {16384, 16 * 1024}})
+	got := make([]byte, len(want))
+	if _, err := rig.shield.ReadGather(runs, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("gather read differs from chunked contents")
+	}
+}
+
+func TestGatherWriteVisibleToChunked(t *testing.T) {
+	rig := newRig(t, simpleConfig())
+	img := make([]byte, 1<<16)
+	rand.New(rand.NewSource(18)).Read(img)
+	fillRegion(t, rig, 0, img)
+
+	runs, packed := gatherRuns(img, [][2]int{{1024, 512}, {2048, 1536}, {60416, 512}})
+	for i := range packed {
+		packed[i] ^= 0x5a
+	}
+	if _, err := rig.shield.WriteGather(runs, packed); err != nil {
+		t.Fatal(err)
+	}
+	rig.shield.InvalidateClean()
+	off := 0
+	for _, r := range runs {
+		got := make([]byte, r.Len)
+		if _, err := rig.shield.ReadBurst(r.Addr, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, packed[off:off+r.Len]) {
+			t.Fatalf("chunked read does not see gather write at %#x", r.Addr)
+		}
+		off += r.Len
+	}
+	// Untouched chunks keep their old contents.
+	got := make([]byte, 512)
+	if _, err := rig.shield.ReadBurst(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, img[:512]) {
+		t.Fatal("gather write disturbed an untouched chunk")
+	}
+}
+
+// TestGatherServesResidentDirtyLines: buffer lines stay authoritative for
+// gathers exactly as they do for streams.
+func TestGatherServesResidentDirtyLines(t *testing.T) {
+	rig := newRig(t, simpleConfig())
+	img := make([]byte, 4096)
+	rand.New(rand.NewSource(19)).Read(img)
+	fillRegion(t, rig, 0, img)
+	// Dirty one chunk through the chunked path, unflushed.
+	dirty := bytes.Repeat([]byte{0xEE}, 512)
+	if _, err := rig.shield.WriteBurst(512, dirty); err != nil {
+		t.Fatal(err)
+	}
+	runs := []axi.Burst{{Addr: 0, Len: 2048}}
+	got := make([]byte, 2048)
+	if _, err := rig.shield.ReadGather(runs, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[512:1024], dirty) {
+		t.Fatal("gather read bypassed the resident dirty line")
+	}
+	if !bytes.Equal(got[:512], img[:512]) || !bytes.Equal(got[1024:2048], img[1024:2048]) {
+		t.Fatal("gather read corrupted clean chunks")
+	}
+}
+
+func TestGatherValidation(t *testing.T) {
+	rig := newRig(t, simpleConfig())
+	buf := make([]byte, 4096)
+	cases := []struct {
+		name string
+		runs []axi.Burst
+		n    int
+	}{
+		{"empty", nil, 0},
+		{"unaligned addr", []axi.Burst{{Addr: 100, Len: 512}}, 512},
+		{"partial chunk", []axi.Burst{{Addr: 0, Len: 100}}, 100},
+		{"descending runs", []axi.Burst{{Addr: 1024, Len: 512}, {Addr: 0, Len: 512}}, 1024},
+		{"overlapping runs", []axi.Burst{{Addr: 0, Len: 1024}, {Addr: 512, Len: 512}}, 1536},
+		{"outside region", []axi.Burst{{Addr: 1 << 20, Len: 512}}, 512},
+		{"buffer mismatch", []axi.Burst{{Addr: 0, Len: 512}}, 1024},
+	}
+	for _, tc := range cases {
+		if _, err := rig.shield.ReadGather(tc.runs, buf[:tc.n]); err == nil {
+			t.Fatalf("%s: gather accepted", tc.name)
+		}
+	}
+}
+
+// TestGatherAmortizesFillDrain is the accounting contract that makes the
+// ORAM batched path worthwhile: one gather over N scattered runs is
+// cheaper than N separate streams, because fill/drain is paid once and
+// window slots pack across runs.
+func TestGatherAmortizesFillDrain(t *testing.T) {
+	cfg := simpleConfig()
+	cfg.Regions[0].AESEngines = 8
+	rig := newRig(t, cfg)
+	img := make([]byte, 1<<16)
+	rand.New(rand.NewSource(20)).Read(img)
+	fillRegion(t, rig, 0, img)
+
+	spans := [][2]int{}
+	for i := 0; i < 13; i++ {
+		spans = append(spans, [2]int{i * 4096, 1024})
+	}
+	runs, want := gatherRuns(img, spans)
+	got := make([]byte, len(want))
+	gatherCycles, err := rig.shield.ReadGather(runs, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("gather read returned wrong bytes")
+	}
+	rig.shield.InvalidateClean()
+	var streamCycles uint64
+	off := 0
+	for _, r := range runs {
+		c, err := rig.shield.ReadStream(r.Addr, got[off:off+r.Len])
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamCycles += c
+		off += r.Len
+	}
+	if gatherCycles >= streamCycles {
+		t.Fatalf("gather %d cycles not cheaper than %d per-run stream cycles", gatherCycles, streamCycles)
+	}
+}
+
+// TestGatherTamperLatches: corrupting ciphertext under a gather fails the
+// window and latches the integrity error like every other data path.
+func TestGatherTamperLatches(t *testing.T) {
+	rig := newRig(t, simpleConfig())
+	img := make([]byte, 8192)
+	rand.New(rand.NewSource(21)).Read(img)
+	fillRegion(t, rig, 0, img)
+	raw, err := rig.dram.RawRead(512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 1
+	if err := rig.dram.RawWrite(512, raw); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	if _, err := rig.shield.ReadGather([]axi.Burst{{Addr: 0, Len: 4096}}, got); err == nil {
+		t.Fatal("tampered gather window verified")
+	}
+	if _, err := rig.shield.ReadBurst(4096, make([]byte, 512)); err == nil {
+		t.Fatal("integrity error did not latch the engine set")
+	}
+}

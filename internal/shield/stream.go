@@ -48,6 +48,48 @@ type streamWindow struct {
 	errs [streamWindowChunks]error
 }
 
+// fetchRun is the shared stage-1 fetch accounting: one batched AXI
+// transaction for runChunks chunks starting at chunk0, ciphertext and
+// tags landing in the window's staging at slot0, returning the busy-side
+// and bus-side DRAM charges. Every windowed data path (stream, gather)
+// uses it so the charge model lives in one place.
+func (s *engineSet) fetchRun(win *streamWindow, slot0, chunk0, runChunks int) (dramBusy, dramBus uint64, err error) {
+	cs := s.cfg.ChunkSize
+	dataAddr, tagAddr := s.dramAddrs(chunk0)
+	if _, err := s.port.ReadBurst(dataAddr, win.ct[slot0*cs:(slot0+runChunks)*cs]); err != nil {
+		return 0, 0, err
+	}
+	if _, err := s.port.ReadBurst(tagAddr, win.tags[slot0*TagSize:(slot0+runChunks)*TagSize]); err != nil {
+		return 0, 0, err
+	}
+	busy, bus := s.runCharge(runChunks)
+	return busy, bus, nil
+}
+
+// storeRun is fetchRun's write-side twin: one batched store for the
+// window's sealed ciphertext and tags at slot0.
+func (s *engineSet) storeRun(win *streamWindow, slot0, chunk0, runChunks int) (dramBusy, dramBus uint64, err error) {
+	cs := s.cfg.ChunkSize
+	dataAddr, tagAddr := s.dramAddrs(chunk0)
+	if _, err := s.port.WriteBurst(dataAddr, win.ct[slot0*cs:(slot0+runChunks)*cs]); err != nil {
+		return 0, 0, err
+	}
+	if _, err := s.port.WriteBurst(tagAddr, win.tags[slot0*TagSize:(slot0+runChunks)*TagSize]); err != nil {
+		return 0, 0, err
+	}
+	busy, bus := s.runCharge(runChunks)
+	return busy, bus, nil
+}
+
+// runCharge prices one batched transaction of runChunks chunks plus their
+// tags: requests amortise per legal AXI burst, bandwidth per byte.
+func (s *engineSet) runCharge(runChunks int) (dramBusy, dramBus uint64) {
+	runBytes := runChunks * (s.cfg.ChunkSize + TagSize)
+	extraBursts := uint64(axi.BurstsFor(runBytes) - 1)
+	return s.params.DRAMCyclesShared(runBytes, s.dramShare) + extraBursts*s.params.DRAMRequestCycles,
+		s.params.DRAMCycles(runBytes) + extraBursts*s.params.DRAMRequestCycles
+}
+
 // ReadStream reads like ReadBurst — same plaintext view, same region
 // rules — but moves full chunks through the pipelined burst engine.
 // Unaligned head and tail bytes fall back to the chunked path. The
@@ -129,18 +171,10 @@ func (s *engineSet) readWindow(addr uint64, buf []byte, first bool) (uint64, err
 	// larger than the legal AXI burst pay one request per burst.
 	var dramBusy, dramBus uint64
 	err := axi.ForEachRun(fetch, func(i0, runChunks int) error {
-		dataAddr, tagAddr := s.dramAddrs(c0 + i0)
-		if _, err := s.port.ReadBurst(dataAddr, win.ct[i0*cs:(i0+runChunks)*cs]); err != nil {
-			return err
-		}
-		if _, err := s.port.ReadBurst(tagAddr, win.tags[i0*TagSize:(i0+runChunks)*TagSize]); err != nil {
-			return err
-		}
-		runBytes := runChunks * (cs + TagSize)
-		extraBursts := uint64(axi.BurstsFor(runBytes) - 1)
-		dramBusy += s.params.DRAMCyclesShared(runBytes, s.dramShare) + extraBursts*s.params.DRAMRequestCycles
-		dramBus += s.params.DRAMCycles(runBytes) + extraBursts*s.params.DRAMRequestCycles
-		return nil
+		busy, bus, err := s.fetchRun(win, i0, c0+i0, runChunks)
+		dramBusy += busy
+		dramBus += bus
+		return err
 	})
 	if err != nil {
 		return s.busyCycles - start, err
@@ -217,15 +251,10 @@ func (s *engineSet) writeWindow(addr uint64, data []byte, first bool) (uint64, e
 	})
 
 	// Stage 2: one batched store for the window's ciphertext and tags.
-	dataAddr, tagAddr := s.dramAddrs(c0)
-	if _, err := s.port.WriteBurst(dataAddr, win.ct[:n*cs]); err != nil {
+	dramBusy, dramBus, err := s.storeRun(win, 0, c0, n)
+	if err != nil {
 		return s.busyCycles - start, err
 	}
-	if _, err := s.port.WriteBurst(tagAddr, win.tags[:n*TagSize]); err != nil {
-		return s.busyCycles - start, err
-	}
-	runBytes := n * (cs + TagSize)
-	extraBursts := uint64(axi.BurstsFor(runBytes) - 1)
 
 	// The stream write supersedes any resident lines wholesale: DRAM now
 	// holds the authoritative ciphertext at the bumped epoch.
@@ -237,9 +266,241 @@ func (s *engineSet) writeWindow(addr uint64, data []byte, first bool) (uint64, e
 		s.initialized[chunk] = true
 	}
 
-	s.chargeWindow(n, n, len(data),
-		s.params.DRAMCyclesShared(runBytes, s.dramShare)+extraBursts*s.params.DRAMRequestCycles,
-		s.params.DRAMCycles(runBytes)+extraBursts*s.params.DRAMRequestCycles, first)
+	s.chargeWindow(n, n, len(data), dramBusy, dramBus, first)
+	return s.busyCycles - start, nil
+}
+
+// ReadGather implements axi.Gatherer: the runs — disjoint ascending
+// chunk-aligned whole-chunk ranges inside one region — travel as ONE
+// pipelined stream. Chunks from consecutive runs pack into shared
+// pipeline windows, so a scattered transfer (a Path ORAM root-to-leaf
+// path) gets the same per-window amortisation as a contiguous stream and
+// pays pipeline fill/drain once per gather, not once per run. Stage 1
+// still issues one batched AXI transaction per contiguous chunk run.
+func (s *Shield) ReadGather(runs []axi.Burst, buf []byte) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set, err := s.gatherSet(runs, len(buf))
+	if err != nil {
+		return 0, err
+	}
+	return set.gather(runs, buf, set.readWindowSlots)
+}
+
+// WriteGather implements axi.Gatherer for the write side: seal fan-out
+// across the engine pool, one batched store per contiguous chunk run,
+// windows overlapped, fill/drain once per gather. Runs are whole chunks,
+// so stores never read-modify-write.
+func (s *Shield) WriteGather(runs []axi.Burst, data []byte) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set, err := s.gatherSet(runs, len(data))
+	if err != nil {
+		return 0, err
+	}
+	return set.gather(runs, data, set.writeWindowSlots)
+}
+
+// gatherSet validates a gather against the region layout: one engine set,
+// chunk-aligned whole-chunk ascending disjoint runs, packed buffer.
+func (s *Shield) gatherSet(runs []axi.Burst, n int) (*engineSet, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("shield: empty gather")
+	}
+	set, err := s.setFor(runs[0].Addr)
+	if err != nil {
+		return nil, err
+	}
+	cs := uint64(set.cfg.ChunkSize)
+	total := 0
+	prevEnd := uint64(0)
+	for _, r := range runs {
+		if r.Len <= 0 {
+			return nil, fmt.Errorf("shield: gather run %v has no length", r)
+		}
+		if r.Addr < set.cfg.Base || r.Addr+uint64(r.Len) > set.cfg.Base+set.cfg.Size {
+			return nil, fmt.Errorf("shield: gather run %v outside region %q", r, set.cfg.Name)
+		}
+		if (r.Addr-set.cfg.Base)%cs != 0 || uint64(r.Len)%cs != 0 {
+			return nil, fmt.Errorf("shield: gather run %v not chunk-aligned (chunk %d)", r, cs)
+		}
+		if r.Addr < prevEnd {
+			return nil, fmt.Errorf("shield: gather runs not ascending/disjoint at %v", r)
+		}
+		prevEnd = r.Addr + uint64(r.Len)
+		total += r.Len
+	}
+	if total != n {
+		return nil, fmt.Errorf("shield: gather buffer %d bytes, runs carry %d", n, total)
+	}
+	return set, nil
+}
+
+// gather walks the runs, packing chunks into pipeline windows of up to
+// streamWindowChunks slots and handing each window to move (the read or
+// write window implementation). Only the very first window pays
+// fill/drain.
+func (s *engineSet) gather(runs []axi.Burst,
+	buf []byte, move func(chunks, offs []int, buf []byte, first bool) (uint64, error)) (uint64, error) {
+
+	cs := s.cfg.ChunkSize
+	var chunks, offs [streamWindowChunks]int
+	var total uint64
+	n, off := 0, 0
+	first := true
+	flush := func() error {
+		if n == 0 {
+			return nil
+		}
+		c, err := move(chunks[:n], offs[:n], buf, first)
+		total += c
+		first = false
+		n = 0
+		return err
+	}
+	for _, r := range runs {
+		c0 := int((r.Addr - s.cfg.Base) / uint64(cs))
+		for k := 0; k < r.Len/cs; k++ {
+			chunks[n] = c0 + k
+			offs[n] = off
+			n++
+			off += cs
+			if n == streamWindowChunks {
+				if err := flush(); err != nil {
+					return total, err
+				}
+			}
+		}
+	}
+	return total, flush()
+}
+
+// readWindowSlots is readWindow generalised to a gather window: slot i
+// carries absolute chunk chunks[i], delivered at buf[offs[i]]. Fetches
+// batch per contiguous chunk run among the missing slots.
+func (s *engineSet) readWindowSlots(chunks, offs []int, buf []byte, first bool) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.integrityErr != nil {
+		return 0, s.integrityErr
+	}
+	start := s.busyCycles
+	cs := s.cfg.ChunkSize
+	n := len(chunks)
+
+	win := s.windows.Get().(*streamWindow)
+	defer s.windows.Put(win)
+	fetch := win.idx[:0]
+	for i := 0; i < n; i++ {
+		chunk := chunks[i]
+		dst := buf[offs[i] : offs[i]+cs]
+		if ln, ok := s.lines[chunk]; ok {
+			// Resident lines (clean or dirty) are authoritative.
+			s.touchResident(ln)
+			copy(dst, ln.data)
+			s.hits++
+		} else if !s.initialized[chunk] {
+			clear(dst)
+		} else {
+			fetch = append(fetch, i)
+		}
+	}
+
+	// Stage 1: one batched fetch per contiguous run of missing chunks
+	// (adjacent slots carrying adjacent chunks), tags riding along.
+	var dramBusy, dramBus uint64
+	for i := 0; i < len(fetch); {
+		j := i
+		for j+1 < len(fetch) && fetch[j+1] == fetch[j]+1 && chunks[fetch[j+1]] == chunks[fetch[j]]+1 {
+			j++
+		}
+		i0, runChunks := fetch[i], j-i+1
+		busy, bus, err := s.fetchRun(win, i0, chunks[i0], runChunks)
+		if err != nil {
+			return s.busyCycles - start, err
+		}
+		dramBusy += busy
+		dramBus += bus
+		i = j + 1
+	}
+
+	// Stage 2: decrypt/verify fan-out into the scattered destinations.
+	s.fanout(len(fetch), func(slot int) {
+		i := fetch[slot]
+		chunk := chunks[i]
+		var tag [TagSize]byte
+		copy(tag[:], win.tags[i*TagSize:])
+		win.errs[slot] = s.seal.openChunkInto(buf[offs[i]:offs[i]+cs], chunk, s.counters[chunk], win.ct[i*cs:(i+1)*cs], tag)
+	})
+	for slot := range fetch {
+		if err := win.errs[slot]; err != nil {
+			win.errs[slot] = nil
+			s.integrityErr = err
+			return s.busyCycles - start, err
+		}
+	}
+
+	s.chargeWindow(len(fetch), n, n*cs, dramBusy, dramBus, first)
+	return s.busyCycles - start, nil
+}
+
+// writeWindowSlots is writeWindow generalised to a gather window: seal
+// fan-out across the pool, then one batched store per contiguous chunk
+// run. Full-chunk stores supersede resident lines and never fetch.
+func (s *engineSet) writeWindowSlots(chunks, offs []int, data []byte, first bool) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.integrityErr != nil {
+		return 0, s.integrityErr
+	}
+	start := s.busyCycles
+	cs := s.cfg.ChunkSize
+	n := len(chunks)
+
+	win := s.windows.Get().(*streamWindow)
+	defer s.windows.Put(win)
+
+	// New write epoch for every chunk before sealing it.
+	if s.cfg.Freshness {
+		for _, chunk := range chunks {
+			s.counters[chunk]++
+		}
+	}
+
+	// Stage 1: seal fan-out across the engine pool.
+	s.fanout(n, func(i int) {
+		chunk := chunks[i]
+		var tag [TagSize]byte
+		s.seal.sealChunkInto(win.ct[i*cs:(i+1)*cs], &tag, chunk, s.counters[chunk], data[offs[i]:offs[i]+cs])
+		copy(win.tags[i*TagSize:], tag[:])
+	})
+
+	// Stage 2: one batched store per contiguous chunk run.
+	var dramBusy, dramBus uint64
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && chunks[j+1] == chunks[j]+1 {
+			j++
+		}
+		busy, bus, err := s.storeRun(win, i, chunks[i], j-i+1)
+		if err != nil {
+			return s.busyCycles - start, err
+		}
+		dramBusy += busy
+		dramBus += bus
+		i = j + 1
+	}
+
+	// The gather write supersedes any resident lines wholesale: DRAM now
+	// holds the authoritative ciphertext at the bumped epoch.
+	for _, chunk := range chunks {
+		if ln, ok := s.lines[chunk]; ok {
+			s.dropLine(ln)
+		}
+		s.initialized[chunk] = true
+	}
+
+	s.chargeWindow(n, n, n*cs, dramBusy, dramBus, first)
 	return s.busyCycles - start, nil
 }
 
