@@ -6,10 +6,19 @@ package main
 // against the committed BENCH_baseline.json, failing when a headline
 // simulated-throughput metric regresses beyond the threshold.
 //
-// Only deterministic simulated metrics (the "sim-" family: sim-speedup-x,
-// sim-ops/sec-*, sim-stream-MiB/s) gate the build: they come from the
-// cycle model, so they are immune to CI host noise, while ns/op and host
-// ops/sec are recorded in the artifact for trend-watching only.
+// Two families of metrics gate the build:
+//
+//   - Deterministic simulated metrics (the "sim-" family: sim-speedup-x,
+//     sim-ops/sec-*, sim-stream-MiB/s) gate against the baseline: they come
+//     from the cycle model, so they are immune to CI host noise.
+//   - allocs/op of the real-throughput benchmarks (names containing
+//     "Real") gates absolutely at zero: the steady-state seal/open window
+//     loop is allocation-free by design, and any new per-op allocation is
+//     a hot-path regression regardless of the host.
+//
+// Real wall-clock metrics (the "real-" family: real-stream-MB/s,
+// real-flush-MB/s) and ns/op are recorded in the artifact for
+// trend-watching only — they vary with CI hardware.
 
 import (
 	"bufio"
@@ -122,6 +131,37 @@ func gatedMetric(name string) bool {
 	return strings.HasPrefix(name, "sim-")
 }
 
+// allocGated reports whether a benchmark's allocs/op gates absolutely at
+// zero: the real-throughput benchmarks exercise the Shield's steady-state
+// seal/open window loop, which is allocation-free by design.
+func allocGated(benchName string) bool {
+	return strings.Contains(benchName, "Real")
+}
+
+// checkAllocs applies the absolute zero-alloc gate to a PR run: every
+// alloc-gated benchmark must report allocs/op (so the bench run must use
+// -benchmem) and it must be exactly zero. An absent metric fails the gate
+// — unmeasured is indistinguishable from regressed.
+func checkAllocs(pr *BenchDoc) (regressions, report []string) {
+	for _, e := range pr.Benchmarks {
+		if !allocGated(e.Name) {
+			continue
+		}
+		v, ok := e.Metrics["allocs/op"]
+		switch {
+		case !ok:
+			regressions = append(regressions, fmt.Sprintf("%s: allocs/op not reported — run the bench with -benchmem", e.key()))
+		case v != 0:
+			regressions = append(regressions, fmt.Sprintf("%s: %g allocs/op, want 0 (steady-state window loop must not allocate)", e.key(), v))
+		default:
+			report = append(report, fmt.Sprintf("%s allocs/op: 0", e.Name))
+		}
+	}
+	sort.Strings(regressions)
+	sort.Strings(report)
+	return regressions, report
+}
+
 // sortedGated returns an entry's gated metric names in stable order.
 func (e BenchEntry) sortedGated() []string {
 	var out []string
@@ -200,8 +240,14 @@ func runCheck(baselinePath, prPath string, threshold float64, w io.Writer) int {
 		return 2
 	}
 	regressions, report, newMetrics := checkRegression(baseline, pr, threshold)
-	fmt.Fprintf(w, "benchtab -check: %d gated metrics vs %s (budget %.0f%%)\n", len(report), baselinePath, threshold*100)
+	allocRegressions, allocReport := checkAllocs(pr)
+	regressions = append(regressions, allocRegressions...)
+	fmt.Fprintf(w, "benchtab -check: %d gated metrics vs %s (budget %.0f%%), %d zero-alloc gates\n",
+		len(report), baselinePath, threshold*100, len(allocReport))
 	for _, line := range report {
+		fmt.Fprintln(w, "  ", line)
+	}
+	for _, line := range allocReport {
 		fmt.Fprintln(w, "  ", line)
 	}
 	if len(newMetrics) > 0 {

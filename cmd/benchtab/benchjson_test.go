@@ -100,6 +100,62 @@ func TestCheckFailsWhenGatedMetricDisappears(t *testing.T) {
 	}
 }
 
+func TestCheckAllocsGate(t *testing.T) {
+	// A clean run: real benchmarks report zero allocs, others are exempt.
+	pr := &BenchDoc{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkRealReadStream/hardware", Metrics: map[string]float64{"allocs/op": 0, "real-stream-MB/s": 1200}},
+		{Name: "BenchmarkRealFlush/scalar", Metrics: map[string]float64{"allocs/op": 0, "real-flush-MB/s": 300}},
+		{Name: "BenchmarkStreamVsChunked/1MiB", Metrics: map[string]float64{"allocs/op": 12, "sim-speedup-x": 2.3}},
+	}}
+	regs, report := checkAllocs(pr)
+	if len(regs) != 0 {
+		t.Fatalf("clean run flagged: %v", regs)
+	}
+	if len(report) != 2 {
+		t.Fatalf("report = %v, want both Real benchmarks listed", report)
+	}
+	// Any allocation in a Real benchmark fails absolutely.
+	pr.Benchmarks[0].Metrics["allocs/op"] = 2
+	if regs, _ := checkAllocs(pr); len(regs) != 1 || !strings.Contains(regs[0], "2 allocs/op") {
+		t.Fatalf("allocating Real benchmark not flagged: %v", regs)
+	}
+	// A Real benchmark run without -benchmem fails too: unmeasured is
+	// indistinguishable from regressed.
+	delete(pr.Benchmarks[0].Metrics, "allocs/op")
+	if regs, _ := checkAllocs(pr); len(regs) != 1 || !strings.Contains(regs[0], "-benchmem") {
+		t.Fatalf("unmeasured Real benchmark not flagged: %v", regs)
+	}
+}
+
+func TestParseBenchmem(t *testing.T) {
+	// -benchmem appends B/op and allocs/op pairs; the real benchmarks add
+	// a real-stream-MB/s metric. All must survive the round trip.
+	const line = `pkg: shef/internal/shield
+BenchmarkRealReadStream/hardware-4   	     100	   1081592 ns/op	 969.45 MB/s	       969.5 real-stream-MB/s	       0 B/op	       0 allocs/op
+`
+	doc, err := parseBenchOutput(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(doc.Benchmarks))
+	}
+	e := doc.Benchmarks[0]
+	if e.Name != "BenchmarkRealReadStream/hardware" {
+		t.Errorf("name = %q", e.Name)
+	}
+	m := e.Metrics
+	if m["real-stream-MB/s"] != 969.5 || m["allocs/op"] != 0 || m["B/op"] != 0 {
+		t.Errorf("metrics = %v", m)
+	}
+	if !allocGated(e.Name) {
+		t.Error("real benchmark not alloc-gated")
+	}
+	if allocGated("BenchmarkStreamVsChunked/1MiB") {
+		t.Error("sim benchmark alloc-gated")
+	}
+}
+
 func TestCheckListsNewMetrics(t *testing.T) {
 	base := &BenchDoc{Benchmarks: []BenchEntry{
 		{Name: "A", Metrics: map[string]float64{"sim-speedup-x": 2.0}},

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"shef/internal/accel"
+	"shef/internal/crypto/engine"
 	"shef/internal/hostapp"
 )
 
@@ -59,6 +60,7 @@ func main() {
 	srv := hostapp.NewVendorServer(vendor, ln)
 	fmt.Printf("shefd: serving product %q on %s\n", product, srv.Addr())
 	fmt.Printf("shefd: designs available in this build: %v\n", accel.Designs())
+	fmt.Printf("shefd: %s\n", engine.Select())
 
 	errc := make(chan error, 1)
 	go func() {

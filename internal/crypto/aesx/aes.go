@@ -12,7 +12,17 @@ package aesx
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
+
+// Block is the forward-direction 16-byte block cipher interface the CTR
+// and PMAC layers run over. *Cipher implements it, and so do the
+// hardware-backed engines in internal/crypto/engine, which is what lets
+// the engine-selection layer swap implementations under an unchanged data
+// path.
+type Block interface {
+	EncryptBlock(dst, src []byte)
+}
 
 // KeySize selects the AES key length.
 type KeySize int
@@ -64,26 +74,61 @@ var sbox = [256]byte{
 // rcon holds the key-schedule round constants.
 var rcon = [11]byte{0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36}
 
-// Cipher is an expanded AES key. It encrypts single blocks; the Shield only
-// ever needs the forward direction because CTR mode decrypts by
-// re-encrypting the counter stream.
+// Cipher is an expanded AES key: the encryption key schedule plus the
+// precomputed decryption (equivalent inverse cipher) schedule. A Cipher is
+// immutable after construction, so one instance is safely shared by any
+// number of goroutines — which is what lets the schedule cache below hand
+// the same expansion to every caller of a key.
 type Cipher struct {
 	size   KeySize
 	rounds int
-	rk     []uint32 // round keys, 4 words per round plus initial
+	rk     []uint32 // encryption round keys, 4 words per round plus initial
+	dk     []uint32 // decryption round keys (InvMixColumns-adjusted, reversed)
 }
 
-// NewCipher expands key (16 or 32 bytes) into a Cipher.
+// schedCache caches expanded key schedules per key so that repeated
+// NewCipher calls for the same key — host-side SealRegionData/
+// OpenRegionData pairs, sealer rebuilds on re-provisioning, PMAC subkey
+// setup — reuse the expansion instead of re-running it. The cache is
+// bounded: when it reaches schedCacheMax entries it is cleared wholesale
+// (key churn across many sessions must not grow the process without
+// bound).
+var schedCache struct {
+	sync.RWMutex
+	m map[string]*Cipher
+}
+
+const schedCacheMax = 512
+
+// NewCipher expands key (16 or 32 bytes) into a Cipher, consulting the
+// per-key schedule cache first. Both the encryption and decryption
+// schedules are computed once per key, never per call.
 func NewCipher(key []byte) (*Cipher, error) {
-	var size KeySize
 	switch len(key) {
-	case int(AES128):
-		size = AES128
-	case int(AES256):
-		size = AES256
+	case int(AES128), int(AES256):
 	default:
 		return nil, fmt.Errorf("aesx: invalid key length %d (want 16 or 32)", len(key))
 	}
+	schedCache.RLock()
+	c := schedCache.m[string(key)]
+	schedCache.RUnlock()
+	if c != nil {
+		return c, nil
+	}
+	c = expandKey(key)
+	schedCache.Lock()
+	if schedCache.m == nil || len(schedCache.m) >= schedCacheMax {
+		schedCache.m = make(map[string]*Cipher)
+	}
+	schedCache.m[string(key)] = c
+	schedCache.Unlock()
+	return c, nil
+}
+
+// expandKey runs the FIPS-197 key expansion and derives the equivalent
+// inverse cipher schedule from it.
+func expandKey(key []byte) *Cipher {
+	size := KeySize(len(key))
 	c := &Cipher{size: size, rounds: size.Rounds()}
 	nk := len(key) / 4
 	n := 4 * (c.rounds + 1)
@@ -101,7 +146,20 @@ func NewCipher(key []byte) (*Cipher, error) {
 		}
 		c.rk[i] = c.rk[i-nk] ^ t
 	}
-	return c, nil
+	// Decryption schedule (equivalent inverse cipher): the encryption round
+	// keys in reverse round order, with InvMixColumns applied to every key
+	// except the first and last. td0[sbox[b]] is exactly InvMixColumns of
+	// the word with byte b, because td composes InvSubBytes∘InvMixColumns
+	// and sbox cancels the InvSubBytes.
+	c.dk = make([]uint32, n)
+	for i := 0; i < n; i += 4 {
+		copy(c.dk[i:i+4], c.rk[n-4-i:n-i])
+	}
+	for i := 4; i < n-4; i++ {
+		w := c.dk[i]
+		c.dk[i] = td0[sbox[w>>24]] ^ td1[sbox[w>>16&0xff]] ^ td2[sbox[w>>8&0xff]] ^ td3[sbox[w&0xff]]
+	}
+	return c
 }
 
 // KeySize reports the cipher's key size.
@@ -109,8 +167,25 @@ func (c *Cipher) KeySize() KeySize { return c.size }
 
 // te0..te3 are the standard AES encryption T-tables: each entry combines
 // SubBytes and MixColumns for one input byte, so a round reduces to 16
-// table lookups and XORs. Built once at init from the S-box.
+// table lookups and XORs. td0..td3 are their decryption duals (InvSubBytes
+// combined with InvMixColumns), and sboxInv the inverse S-box for the
+// final decryption round. All built once at init from the S-box.
 var te0, te1, te2, te3 [256]uint32
+var td0, td1, td2, td3 [256]uint32
+var sboxInv [256]byte
+
+// gmul multiplies two bytes in GF(2^8) with the AES polynomial.
+func gmul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		a = xtime(a)
+		b >>= 1
+	}
+	return p
+}
 
 func init() {
 	for i := 0; i < 256; i++ {
@@ -122,6 +197,16 @@ func init() {
 		te1[i] = w>>8 | w<<24
 		te2[i] = w>>16 | w<<16
 		te3[i] = w>>24 | w<<8
+		sboxInv[s] = byte(i)
+	}
+	for i := 0; i < 256; i++ {
+		s := sboxInv[i]
+		w := uint32(gmul(s, 0x0e))<<24 | uint32(gmul(s, 0x09))<<16 |
+			uint32(gmul(s, 0x0d))<<8 | uint32(gmul(s, 0x0b))
+		td0[i] = w
+		td1[i] = w>>8 | w<<24
+		td2[i] = w>>16 | w<<16
+		td3[i] = w>>24 | w<<8
 	}
 }
 
@@ -153,6 +238,39 @@ func (c *Cipher) EncryptBlock(dst, src []byte) {
 	binary.BigEndian.PutUint32(dst[4:8], t1^rk[k+1])
 	binary.BigEndian.PutUint32(dst[8:12], t2^rk[k+2])
 	binary.BigEndian.PutUint32(dst[12:16], t3^rk[k+3])
+}
+
+// DecryptBlock decrypts one 16-byte block src into dst (may alias), using
+// the decryption key schedule precomputed at expansion time. The Shield's
+// CTR data path never needs it (CTR decrypts by re-encrypting the counter
+// stream), but ECB-style consumers of the cached schedules do.
+func (c *Cipher) DecryptBlock(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aesx: short block")
+	}
+	dk := c.dk
+	s0 := binary.BigEndian.Uint32(src[0:4]) ^ dk[0]
+	s1 := binary.BigEndian.Uint32(src[4:8]) ^ dk[1]
+	s2 := binary.BigEndian.Uint32(src[8:12]) ^ dk[2]
+	s3 := binary.BigEndian.Uint32(src[12:16]) ^ dk[3]
+	k := 4
+	for r := 1; r < c.rounds; r++ {
+		t0 := td0[s0>>24] ^ td1[s3>>16&0xff] ^ td2[s2>>8&0xff] ^ td3[s1&0xff] ^ dk[k]
+		t1 := td0[s1>>24] ^ td1[s0>>16&0xff] ^ td2[s3>>8&0xff] ^ td3[s2&0xff] ^ dk[k+1]
+		t2 := td0[s2>>24] ^ td1[s1>>16&0xff] ^ td2[s0>>8&0xff] ^ td3[s3&0xff] ^ dk[k+2]
+		t3 := td0[s3>>24] ^ td1[s2>>16&0xff] ^ td2[s1>>8&0xff] ^ td3[s0&0xff] ^ dk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: InvSubBytes + InvShiftRows only.
+	t0 := uint32(sboxInv[s0>>24])<<24 | uint32(sboxInv[s3>>16&0xff])<<16 | uint32(sboxInv[s2>>8&0xff])<<8 | uint32(sboxInv[s1&0xff])
+	t1 := uint32(sboxInv[s1>>24])<<24 | uint32(sboxInv[s0>>16&0xff])<<16 | uint32(sboxInv[s3>>8&0xff])<<8 | uint32(sboxInv[s2&0xff])
+	t2 := uint32(sboxInv[s2>>24])<<24 | uint32(sboxInv[s1>>16&0xff])<<16 | uint32(sboxInv[s0>>8&0xff])<<8 | uint32(sboxInv[s3&0xff])
+	t3 := uint32(sboxInv[s3>>24])<<24 | uint32(sboxInv[s2>>16&0xff])<<16 | uint32(sboxInv[s1>>8&0xff])<<8 | uint32(sboxInv[s0&0xff])
+	binary.BigEndian.PutUint32(dst[0:4], t0^dk[k])
+	binary.BigEndian.PutUint32(dst[4:8], t1^dk[k+1])
+	binary.BigEndian.PutUint32(dst[8:12], t2^dk[k+2])
+	binary.BigEndian.PutUint32(dst[12:16], t3^dk[k+3])
 }
 
 // encryptBlockReference is the straightforward FIPS-197 round-function

@@ -242,3 +242,107 @@ func TestCTRStreamMatchesCTR(t *testing.T) {
 		}
 	}
 }
+
+// TestDecryptBlockRoundTrip proves the precomputed decryption schedule
+// inverts EncryptBlock for both key sizes, and matches crypto/aes.
+func TestDecryptBlockRoundTrip(t *testing.T) {
+	f := func(key128 [16]byte, key256 [32]byte, block [16]byte) bool {
+		for _, key := range [][]byte{key128[:], key256[:]} {
+			c, err := NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			std, err := aes.NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct := make([]byte, 16)
+			c.EncryptBlock(ct, block[:])
+			back := make([]byte, 16)
+			c.DecryptBlock(back, ct)
+			if !bytes.Equal(back, block[:]) {
+				return false
+			}
+			stdBack := make([]byte, 16)
+			std.Decrypt(stdBack, ct)
+			if !bytes.Equal(stdBack, block[:]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecryptBlockInPlace checks dst/src aliasing.
+func TestDecryptBlockInPlace(t *testing.T) {
+	key := mustHex(t, "000102030405060708090a0b0c0d0e0f")
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := mustHex(t, "00112233445566778899aabbccddeeff")
+	want := append([]byte(nil), buf...)
+	c.EncryptBlock(buf, buf)
+	c.DecryptBlock(buf, buf)
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("in-place decrypt: got %x want %x", buf, want)
+	}
+}
+
+// TestScheduleCacheReuse pins the key-schedule cache contract: the same
+// key yields the same *Cipher (the expansion ran once), and repeated
+// NewCipher calls on a cached key allocate nothing.
+func TestScheduleCacheReuse(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	a, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("schedule cache missed: distinct ciphers for the same key")
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		if _, err := NewCipher(key); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("cached NewCipher: %v allocs/op, want 0", n)
+	}
+}
+
+// TestScheduleCacheBounded fills the cache past its cap and checks it
+// still answers correctly (the wholesale clear must not corrupt lookups).
+func TestScheduleCacheBounded(t *testing.T) {
+	key := make([]byte, 16)
+	pt := mustHex(t, "00112233445566778899aabbccddeeff")
+	want := make([]byte, 16)
+	first, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.EncryptBlock(want, pt)
+	for i := 0; i < schedCacheMax+10; i++ {
+		k := make([]byte, 16)
+		k[0], k[1] = byte(i), byte(i>>8)
+		k[15] = 0xa5
+		if _, err := NewCipher(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := NewCipher(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	again.EncryptBlock(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-eviction cipher diverged: got %x want %x", got, want)
+	}
+}

@@ -10,7 +10,9 @@ const IVSize = 12
 // CTR encrypts or decrypts src into dst using AES-CTR with the given
 // 12-byte IV. The counter block is IV || big-endian 32-bit block counter
 // starting at 0. dst and src may alias. The operation is its own inverse.
-func CTR(c *Cipher, iv [IVSize]byte, dst, src []byte) {
+// Any Block implementation works: the reference *Cipher or a
+// hardware-backed block from internal/crypto/engine.
+func CTR(c Block, iv [IVSize]byte, dst, src []byte) {
 	var st CTRStream
 	st.XORKeyStream(c, iv, dst, src)
 }
@@ -28,19 +30,27 @@ type CTRStream struct {
 
 // XORKeyStream encrypts or decrypts src into dst under iv, using the
 // stream's scratch. Semantics match CTR; dst and src may alias.
-func (st *CTRStream) XORKeyStream(c *Cipher, iv [IVSize]byte, dst, src []byte) {
+func (st *CTRStream) XORKeyStream(c Block, iv [IVSize]byte, dst, src []byte) {
 	if len(dst) < len(src) {
 		panic("aesx: CTR destination shorter than source")
 	}
 	copy(st.ctrBlock[:], iv[:])
-	for off, ctr := 0, uint32(0); off < len(src); off, ctr = off+BlockSize, ctr+1 {
+	off, ctr := 0, uint32(0)
+	// Full blocks: XOR eight bytes at a time through the scratch words.
+	for ; off+BlockSize <= len(src); off, ctr = off+BlockSize, ctr+1 {
 		binary.BigEndian.PutUint32(st.ctrBlock[IVSize:], ctr)
 		c.EncryptBlock(st.ks[:], st.ctrBlock[:])
-		n := len(src) - off
-		if n > BlockSize {
-			n = BlockSize
-		}
-		for i := 0; i < n; i++ {
+		k0 := binary.LittleEndian.Uint64(st.ks[0:8])
+		k1 := binary.LittleEndian.Uint64(st.ks[8:16])
+		s0 := binary.LittleEndian.Uint64(src[off : off+8])
+		s1 := binary.LittleEndian.Uint64(src[off+8 : off+16])
+		binary.LittleEndian.PutUint64(dst[off:off+8], s0^k0)
+		binary.LittleEndian.PutUint64(dst[off+8:off+16], s1^k1)
+	}
+	if off < len(src) {
+		binary.BigEndian.PutUint32(st.ctrBlock[IVSize:], ctr)
+		c.EncryptBlock(st.ks[:], st.ctrBlock[:])
+		for i := 0; off+i < len(src); i++ {
 			dst[off+i] = src[off+i] ^ st.ks[i]
 		}
 	}

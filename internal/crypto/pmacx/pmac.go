@@ -19,29 +19,55 @@ import (
 // TagSize matches the Shield's 16-byte stored tag.
 const TagSize = 16
 
-// MAC is a PMAC instance bound to one AES key.
+// MAC is a PMAC instance bound to one AES key. The underlying block
+// cipher is any aesx.Block — the scalar reference cipher or a
+// hardware-backed block from internal/crypto/engine.
 type MAC struct {
-	cipher *aesx.Cipher
+	cipher aesx.Block
 	l      [16]byte // L = AES_K(0^128)
 	lInv   [16]byte // L / x, for final-block offset when the last block is full
 }
 
-// New builds a PMAC instance over the given AES key (16 or 32 bytes).
+// New builds a PMAC instance over the given AES key (16 or 32 bytes),
+// using the scalar reference cipher.
 func New(key []byte) (*MAC, error) {
 	c, err := aesx.NewCipher(key)
 	if err != nil {
 		return nil, err
 	}
-	m := &MAC{cipher: c}
-	var zero [16]byte
-	c.EncryptBlock(m.l[:], zero[:])
-	m.lInv = halve(m.l)
-	return m, nil
+	return NewWithBlock(c), nil
 }
 
-// Sum computes the 16-byte PMAC tag of msg.
+// NewWithBlock builds a PMAC instance over an already-constructed block
+// cipher, letting callers choose the engine implementation.
+func NewWithBlock(b aesx.Block) *MAC {
+	m := &MAC{cipher: b}
+	var zero [16]byte
+	b.EncryptBlock(m.l[:], zero[:])
+	m.lInv = halve(m.l)
+	return m
+}
+
+// Scratch holds the block buffers of one in-flight PMAC computation.
+// They cannot live on SumWith's stack: the buffers cross the aesx.Block
+// interface boundary, so escape analysis would heap-allocate them per
+// call. Callers on the hot path keep one Scratch per worker (the
+// Shield's seal scratch does); a zero Scratch is ready for use.
+type Scratch struct {
+	sigma, tmp, enc, final, tag [16]byte
+}
+
+// Sum computes the 16-byte PMAC tag of msg. It allocates a transient
+// scratch; hot paths should hold a Scratch and call SumWith.
 func (m *MAC) Sum(msg []byte) [TagSize]byte {
-	var sigma [16]byte
+	var sc Scratch
+	return m.SumWith(&sc, msg)
+}
+
+// SumWith computes the 16-byte PMAC tag of msg using caller scratch,
+// allocating nothing.
+func (m *MAC) SumWith(sc *Scratch, msg []byte) [TagSize]byte {
+	sc.sigma = [16]byte{}
 	full := len(msg) / 16
 	rem := len(msg) % 16
 	lastFull := rem == 0 && full > 0
@@ -49,41 +75,46 @@ func (m *MAC) Sum(msg []byte) [TagSize]byte {
 	if lastFull {
 		n-- // final full block is folded into the tag computation instead
 	}
-	var tmp, enc [16]byte
 	delta := m.l
 	for i := 0; i < n; i++ {
 		delta = double(delta)
 		for j := 0; j < 16; j++ {
-			tmp[j] = msg[i*16+j] ^ delta[j]
+			sc.tmp[j] = msg[i*16+j] ^ delta[j]
 		}
-		m.cipher.EncryptBlock(enc[:], tmp[:])
+		m.cipher.EncryptBlock(sc.enc[:], sc.tmp[:])
 		for j := 0; j < 16; j++ {
-			sigma[j] ^= enc[j]
+			sc.sigma[j] ^= sc.enc[j]
 		}
 	}
 	// Fold in the final block.
-	var final [16]byte
+	sc.final = [16]byte{}
 	if lastFull {
-		copy(final[:], msg[len(msg)-16:])
+		copy(sc.final[:], msg[len(msg)-16:])
 		for j := 0; j < 16; j++ {
-			final[j] ^= sigma[j] ^ m.lInv[j]
+			sc.final[j] ^= sc.sigma[j] ^ m.lInv[j]
 		}
 	} else {
 		// Pad 10* and do not apply the L/x offset (distinguishes lengths).
-		copy(final[:], msg[full*16:])
-		final[rem] = 0x80
+		copy(sc.final[:], msg[full*16:])
+		sc.final[rem] = 0x80
 		for j := 0; j < 16; j++ {
-			final[j] ^= sigma[j]
+			sc.final[j] ^= sc.sigma[j]
 		}
 	}
-	var tag [16]byte
-	m.cipher.EncryptBlock(tag[:], final[:])
-	return tag
+	m.cipher.EncryptBlock(sc.tag[:], sc.final[:])
+	return sc.tag
 }
 
 // Verify reports whether tag authenticates msg, in constant time.
 func (m *MAC) Verify(msg []byte, tag [TagSize]byte) bool {
 	want := m.Sum(msg)
+	return subtle.ConstantTimeCompare(want[:], tag[:]) == 1
+}
+
+// VerifyWith reports whether tag authenticates msg using caller scratch,
+// in constant time and without allocating.
+func (m *MAC) VerifyWith(sc *Scratch, msg []byte, tag [TagSize]byte) bool {
+	want := m.SumWith(sc, msg)
 	return subtle.ConstantTimeCompare(want[:], tag[:]) == 1
 }
 

@@ -96,22 +96,27 @@ func (s *State) Write(p []byte) (int, error) {
 // Sum finalises a copy of the state and returns the digest. The receiver
 // remains usable for further writes.
 func (s *State) Sum() [Size]byte {
-	d := *s // copy so finalisation does not disturb the stream
+	var out [Size]byte
+	s.SumInto(&out)
+	return out
+}
+
+// SumInto finalises a copy of the state into out without allocating,
+// for callers (HMAC state pooling) that hold their own digest scratch.
+// The receiver remains usable for further writes.
+func (s *State) SumInto(out *[Size]byte) {
+	d := *s
 	var pad [BlockSize + 8]byte
 	pad[0] = 0x80
-	// Append 0x80, zeros, and the 8-byte bit length so the total becomes a
-	// multiple of the block size with at least 9 padding bytes.
 	padLen := BlockSize - int(d.length%BlockSize)
 	if padLen < 9 {
 		padLen += BlockSize
 	}
 	binary.BigEndian.PutUint64(pad[padLen-8:padLen], d.length*8)
 	d.Write(pad[:padLen])
-	var out [Size]byte
 	for i, v := range d.h {
 		binary.BigEndian.PutUint32(out[i*4:], v)
 	}
-	return out
 }
 
 // block runs the 64-round compression function over one 64-byte block.

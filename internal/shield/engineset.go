@@ -2,11 +2,12 @@ package shield
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"shef/internal/axi"
 	"shef/internal/crypto/aesx"
+	"shef/internal/crypto/engine"
 	"shef/internal/crypto/sha256x"
 	"shef/internal/mem"
 	"shef/internal/perf"
@@ -75,10 +76,38 @@ type engineSet struct {
 	ocmBytes int
 
 	// linePool recycles buffer lines so the chunked hot path allocates
-	// nothing in steady state; windows holds the streaming path's batched
-	// ciphertext/tag staging buffers for the same reason.
+	// nothing in steady state.
 	linePool sync.Pool
-	windows  sync.Pool
+
+	// win is the set's single stream-window staging buffer (ciphertext +
+	// tags for one pipeline window). Exactly one window is ever in flight
+	// per set — every windowed path runs under mu and eviction write-backs
+	// complete before a window is (re)used — so a dedicated buffer
+	// replaces the old sync.Pool: unlike a pool, it cannot be drained by
+	// a GC pass mid-stream, which is what makes the steady-state window
+	// loop measurably zero-alloc.
+	win *streamWindow
+
+	// The persistent seal/open worker pool: the engine pool's goroutine
+	// fan-out without per-window goroutine or closure allocations. A job
+	// is described by the job* fields (set under mu), split into
+	// contiguous spans of jobSpan items; workers receive span indices
+	// over fanTasks and run spanWork. The channel send/receive pairs with
+	// fanWG establish the happens-before edges, so workers never touch
+	// mu. scratches holds one sealScratch per span slot — dedicated, not
+	// pooled, for the same GC-drain reason as win.
+	jobOpen       bool
+	jobN, jobSpan int
+	jobSlots      [streamWindowChunks]int
+	jobChunks     [streamWindowChunks]int
+	jobDsts       [streamWindowChunks][]byte
+	scratches     [streamWindowChunks]*sealScratch
+	fanTasks      chan int
+	fanWG         sync.WaitGroup
+	fanWorkers    int
+
+	// flushScratch is the reusable dirty-chunk list of flush.
+	flushScratch []int
 
 	// Performance accounting.
 	busyCycles                          uint64 // accumulated engine-set busy time (chunk pipeline)
@@ -112,7 +141,11 @@ type bufLine struct {
 func newEngineSet(cfg RegionConfig, regionID uint32, dek []byte, tagBase uint64,
 	port axi.MemoryPort, ocm *mem.OCM, params perf.Params) (*engineSet, error) {
 
-	seal, err := newSealer(cfg, regionID, dek)
+	kind, err := engine.ParseKind(params.CryptoEngine)
+	if err != nil {
+		return nil, fmt.Errorf("shield: region %q: %w", cfg.Name, err)
+	}
+	seal, err := newSealer(cfg, regionID, dek, kind)
 	if err != nil {
 		return nil, err
 	}
@@ -132,11 +165,9 @@ func newEngineSet(cfg RegionConfig, regionID uint32, dek []byte, tagBase uint64,
 	s.linePool.New = func() any {
 		return &bufLine{data: make([]byte, cfg.ChunkSize)}
 	}
-	s.windows.New = func() any {
-		return &streamWindow{
-			ct:   make([]byte, streamWindowChunks*cfg.ChunkSize),
-			tags: make([]byte, streamWindowChunks*TagSize),
-		}
+	s.win = &streamWindow{
+		ct:   make([]byte, streamWindowChunks*cfg.ChunkSize),
+		tags: make([]byte, streamWindowChunks*TagSize),
 	}
 	// Charge on-chip memory: the buffer, counters, and valid bits.
 	alloc := func(n int, what string) error {
@@ -166,8 +197,10 @@ func newEngineSet(cfg RegionConfig, regionID uint32, dek []byte, tagBase uint64,
 }
 
 // releaseOCM returns the set's on-chip budget to the pool (the partial
-// reconfiguration that clears a replaced session's logic).
+// reconfiguration that clears a replaced session's logic) and retires the
+// seal/open worker pool.
 func (s *engineSet) releaseOCM(ocm *mem.OCM) {
+	s.stopWorkers()
 	if s.ocmBytes > 0 {
 		ocm.Free(s.ocmBytes)
 		s.ocmBytes = 0
@@ -377,23 +410,20 @@ func (s *engineSet) load(chunk int, fill bool) (*bufLine, error) {
 	ln.dirty, ln.prefetched = false, false
 	if fill {
 		dataAddr, tagAddr := s.dramAddrs(chunk)
-		win := s.windows.Get().(*streamWindow)
+		win := s.win
 		ct := win.ct[:s.cfg.ChunkSize]
 		if _, err := s.port.ReadBurst(dataAddr, ct); err != nil {
-			s.windows.Put(win)
 			s.linePool.Put(ln)
 			return nil, err
 		}
 		if _, err := s.port.ReadBurst(tagAddr, win.tags[:TagSize]); err != nil {
-			s.windows.Put(win)
 			s.linePool.Put(ln)
 			return nil, err
 		}
-		var tag [TagSize]byte
-		copy(tag[:], win.tags[:TagSize])
-		err := s.seal.openChunkInto(ln.data, chunk, s.counters[chunk], ct, tag)
-		s.windows.Put(win)
-		if err != nil {
+		s.jobSlots[0], s.jobChunks[0], s.jobDsts[0] = 0, chunk, ln.data
+		s.runJob(true, 1)
+		if err := win.errs[0]; err != nil {
+			win.errs[0] = nil
 			s.linePool.Put(ln)
 			s.integrityErr = err
 			return nil, err
@@ -431,8 +461,7 @@ func (s *engineSet) prefetchRun(c0 int) error {
 		return err
 	}
 
-	win := s.windows.Get().(*streamWindow)
-	defer s.windows.Put(win)
+	win := s.win
 	dataAddr, tagAddr := s.dramAddrs(c0)
 	if _, err := s.port.ReadBurst(dataAddr, win.ct[:n*cs]); err != nil {
 		return err
@@ -444,13 +473,9 @@ func (s *engineSet) prefetchRun(c0 int) error {
 	var lines [streamWindowChunks]*bufLine
 	for i := 0; i < n; i++ {
 		lines[i] = s.linePool.Get().(*bufLine)
+		s.jobSlots[i], s.jobChunks[i], s.jobDsts[i] = i, c0+i, lines[i].data
 	}
-	s.fanout(n, func(i int) {
-		chunk := c0 + i
-		var tag [TagSize]byte
-		copy(tag[:], win.tags[i*TagSize:])
-		win.errs[i] = s.seal.openChunkInto(lines[i].data, chunk, s.counters[chunk], win.ct[i*cs:(i+1)*cs], tag)
-	})
+	s.runJob(true, n)
 	for i := 0; i < n; i++ {
 		if err := win.errs[i]; err != nil {
 			win.errs[i] = nil
@@ -536,7 +561,7 @@ func (s *engineSet) evictFor(n int) error {
 		for c := range dirtySet {
 			dirty = append(dirty, c)
 		}
-		sort.Ints(dirty)
+		slices.Sort(dirty)
 		// No fill/drain charge: eviction write-backs interleave with the
 		// demand traffic that forced them, so the write pipeline is
 		// already primed (contrast flush, which drains it).
@@ -573,14 +598,11 @@ func (s *engineSet) writebackChunks(chunks []int, fillDrain bool) error {
 				s.counters[c0+i]++ // bump before sealing the new epoch
 			}
 		}
-		win := s.windows.Get().(*streamWindow)
-		defer s.windows.Put(win)
-		s.fanout(n, func(i int) {
-			chunk := c0 + i
-			var tag [TagSize]byte
-			s.seal.sealChunkInto(win.ct[i*cs:(i+1)*cs], &tag, chunk, s.counters[chunk], s.lines[chunk].data)
-			copy(win.tags[i*TagSize:], tag[:])
-		})
+		win := s.win
+		for i := 0; i < n; i++ {
+			s.jobSlots[i], s.jobChunks[i], s.jobDsts[i] = i, c0+i, s.lines[c0+i].data
+		}
+		s.runJob(false, n)
 		dataAddr, tagAddr := s.dramAddrs(c0)
 		if _, err := s.port.WriteBurst(dataAddr, win.ct[:n*cs]); err != nil {
 			return err
@@ -610,31 +632,110 @@ func (s *engineSet) writebackChunks(chunks []int, fillDrain bool) error {
 	})
 }
 
-// fanout runs fn(0..n-1) across up to AESEngines goroutines — the engine
-// pool's parallelism made real. Callers hold s.mu, so worker reads of
-// counters, lines, and the sealer are exclusive with all mutation.
-func (s *engineSet) fanout(n int, fn func(i int)) {
+// runJob runs the seal (open=false) or open (open=true) job described by
+// jobSlots/jobChunks/jobDsts[0..n-1] across the engine pool — the
+// hardware's parallelism made real by persistent worker goroutines.
+// Callers hold s.mu, so worker reads of counters and the sealer are
+// exclusive with all mutation.
+//
+// The job splits into contiguous spans, one per participating worker, so
+// each span is one batched engine call: a single scratch checkout (CTR
+// state, HMAC streams, PMAC scratch, MAC message buffer) serves the whole
+// run of chunks instead of a checkout per chunk. For open jobs, item k's
+// verdict lands in win.errs[k].
+func (s *engineSet) runJob(open bool, n int) {
+	if n <= 0 {
+		return
+	}
+	s.jobOpen, s.jobN = open, n
 	workers := s.cfg.AESEngines
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
+		s.jobSpan = n
+		s.spanWork(0)
+		s.clearJob(n)
 		return
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < n; i += workers {
-				fn(i)
-			}
-		}(w)
+	span := (n + workers - 1) / workers
+	s.jobSpan = span
+	nspans := (n + span - 1) / span
+	s.ensureWorkers(nspans - 1)
+	s.fanWG.Add(nspans - 1)
+	for w := 1; w < nspans; w++ {
+		s.fanTasks <- w
 	}
-	wg.Wait()
+	s.spanWork(0) // the caller is worker zero
+	s.fanWG.Wait()
+	s.clearJob(n)
+}
+
+// clearJob drops the job's buffer references so a finished window does
+// not pin caller buffers until the next job.
+func (s *engineSet) clearJob(n int) {
+	for k := 0; k < n; k++ {
+		s.jobDsts[k] = nil
+	}
+}
+
+// spanWork processes job items [w*jobSpan, min((w+1)*jobSpan, jobN)) on
+// the span's dedicated scratch. Runs on the caller's goroutine for span 0
+// and on pool workers for the rest.
+func (s *engineSet) spanWork(w int) {
+	lo := w * s.jobSpan
+	hi := lo + s.jobSpan
+	if hi > s.jobN {
+		hi = s.jobN
+	}
+	sc := s.scratches[w]
+	if sc == nil {
+		sc = s.seal.newScratch()
+		s.scratches[w] = sc
+	}
+	cs := s.cfg.ChunkSize
+	win := s.win
+	for k := lo; k < hi; k++ {
+		slot, chunk := s.jobSlots[k], s.jobChunks[k]
+		ct := win.ct[slot*cs : (slot+1)*cs]
+		tag := win.tags[slot*TagSize : (slot+1)*TagSize]
+		if s.jobOpen {
+			win.errs[k] = s.seal.openChunkWith(sc, s.jobDsts[k], chunk, s.counters[chunk], ct, tag)
+		} else {
+			s.seal.sealChunkWith(sc, ct, tag, chunk, s.counters[chunk], s.jobDsts[k])
+		}
+	}
+}
+
+// ensureWorkers grows the persistent worker pool to at least k workers.
+// Workers live until releaseOCM retires the set; in steady state a job
+// costs no goroutine spawns and no closures.
+func (s *engineSet) ensureWorkers(k int) {
+	if s.fanTasks == nil {
+		s.fanTasks = make(chan int, streamWindowChunks)
+	}
+	for s.fanWorkers < k {
+		s.fanWorkers++
+		go s.fanWorker()
+	}
+}
+
+func (s *engineSet) fanWorker() {
+	for w := range s.fanTasks {
+		s.spanWork(w)
+		s.fanWG.Done()
+	}
+}
+
+// stopWorkers retires the worker pool (no job may be in flight).
+func (s *engineSet) stopWorkers() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fanTasks != nil {
+		close(s.fanTasks)
+		s.fanTasks = nil
+		s.fanWorkers = 0
+	}
 }
 
 // cryptoStages returns the engine-pool occupancy and serial-HMAC stage
@@ -724,13 +825,17 @@ func (s *engineSet) write(addr uint64, data []byte) (uint64, error) {
 func (s *engineSet) flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	dirty := make([]int, 0, len(s.lines))
+	if s.flushScratch == nil {
+		s.flushScratch = make([]int, 0, s.capacity)
+	}
+	dirty := s.flushScratch[:0]
 	for idx, ln := range s.lines {
 		if ln.dirty {
 			dirty = append(dirty, idx)
 		}
 	}
-	sort.Ints(dirty)
+	slices.Sort(dirty)
+	s.flushScratch = dirty[:0]
 	return s.writebackChunks(dirty, true)
 }
 

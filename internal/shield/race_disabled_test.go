@@ -1,0 +1,7 @@
+//go:build !race
+
+package shield
+
+// raceEnabled reports whether the race detector is compiled in; the real
+// (wall-clock) performance assertions skip under it.
+const raceEnabled = false

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"shef/internal/crypto/aesx"
+	"shef/internal/crypto/engine"
 	"shef/internal/crypto/hmacx"
 	"shef/internal/crypto/kdf"
 	"shef/internal/crypto/pmacx"
@@ -16,45 +17,77 @@ import (
 // Data Owner's host library use it, which is what lets the Data Owner
 // pre-encrypt inputs into exactly the layout the Shield expects and
 // decrypt results coming back (paper §3 step 11).
+//
+// The sealer splits its crypto in two: engine (aesx.Engine) is the *cycle
+// model* of the FPGA engine pool — simulated cost only, identical on
+// every host — while block and the per-scratch HMAC/PMAC states are the
+// *functional* implementations that actually move bytes, selected between
+// scalar reference and hardware-backed stdlib code by
+// internal/crypto/engine. Ciphertext and tags are bit-identical whichever
+// functional engine runs (FuzzEngineParity).
 type sealer struct {
 	cfg      RegionConfig
 	regionID uint32
 	engine   *aesx.Engine
+	block    aesx.Block
+	shaNew   func() hmacx.Hash
 	macKey   []byte
 	pmac     *pmacx.MAC
 
-	// scratch pools the per-chunk working state (MAC message buffer and
-	// CTR counter-block/keystream state) so the streamed data path is
-	// allocation-free and safe for the engine pool's goroutine fan-out:
-	// each in-flight chunk checks out its own scratch.
+	// scratch pools the per-chunk working state for the convenience
+	// entry points (sealChunkInto/openChunkInto); the engine set's hot
+	// path holds dedicated per-worker scratches instead, because a GC
+	// pass may drain a sync.Pool mid-stream and reintroduce allocations.
 	scratch sync.Pool
 }
 
-// sealScratch is one in-flight chunk's working state.
+// sealScratch is one in-flight chunk's working state: the MAC message
+// buffer, the CTR counter-block/keystream state, a reusable HMAC state
+// (persistent key pads and hash streams), and the PMAC block scratch.
 type sealScratch struct {
-	msg []byte
-	ctr aesx.CTRStream
+	msg  []byte
+	ctr  aesx.CTRStream
+	hmac *hmacx.State
+	pmac pmacx.Scratch
 }
 
-func newSealer(cfg RegionConfig, regionID uint32, dek []byte) (*sealer, error) {
+func newSealer(cfg RegionConfig, regionID uint32, dek []byte, kind engine.Kind) (*sealer, error) {
 	encKey := kdf.Derive([]byte("shef/region-enc"), dek, []byte(cfg.Name), int(cfg.KeySize))
 	macKey := kdf.Derive([]byte("shef/region-mac"), dek, []byte(cfg.Name), 32)
 	eng, err := aesx.NewEngine(encKey, cfg.SBox)
 	if err != nil {
 		return nil, fmt.Errorf("shield: region %q: %w", cfg.Name, err)
 	}
-	s := &sealer{cfg: cfg, regionID: regionID, engine: eng, macKey: macKey}
-	s.scratch.New = func() any {
-		return &sealScratch{msg: make([]byte, 0, 12+cfg.ChunkSize)}
+	blk, err := engine.NewAES(encKey, kind)
+	if err != nil {
+		return nil, fmt.Errorf("shield: region %q: %w", cfg.Name, err)
 	}
+	s := &sealer{
+		cfg:      cfg,
+		regionID: regionID,
+		engine:   eng,
+		block:    blk,
+		shaNew:   engine.NewSHA(kind),
+		macKey:   macKey,
+	}
+	s.scratch.New = func() any { return s.newScratch() }
 	if cfg.MAC == PMAC {
-		pm, err := pmacx.New(macKey[:16])
+		macBlock, err := engine.NewAES(macKey[:16], kind)
 		if err != nil {
 			return nil, err
 		}
-		s.pmac = pm
+		s.pmac = pmacx.NewWithBlock(macBlock)
 	}
 	return s, nil
+}
+
+// newScratch builds one worker's chunk-crypto working state.
+func (s *sealer) newScratch() *sealScratch {
+	sc := &sealScratch{msg: make([]byte, 0, 12+s.cfg.ChunkSize)}
+	if s.cfg.MAC == HMAC {
+		sc.hmac = hmacx.NewState(s.macKey, s.shaNew)
+	}
+	return sc
 }
 
 // iv derives the CTR IV for a chunk at a write epoch. Counter zero is the
@@ -100,15 +133,24 @@ func (s *sealer) sealChunk(chunk int, counter uint32, plain []byte) (ct []byte, 
 // fans consecutive chunks out across the engine pool.
 func (s *sealer) sealChunkInto(ct []byte, tag *[TagSize]byte, chunk int, counter uint32, plain []byte) {
 	sc := s.scratch.Get().(*sealScratch)
-	sc.ctr.XORKeyStream(s.engine.Cipher(), s.iv(chunk, counter), ct, plain)
-	msg := s.macInputInto(sc.msg[:0], chunk, counter, ct)
-	if s.cfg.MAC == PMAC {
-		*tag = s.pmac.Sum(msg)
-	} else {
-		*tag = hmacx.Tag(s.macKey, msg)
-	}
-	sc.msg = msg[:0]
+	s.sealChunkWith(sc, ct, tag[:], chunk, counter, plain)
 	s.scratch.Put(sc)
+}
+
+// sealChunkWith is the allocation-free core of sealChunkInto: the caller
+// owns sc exclusively for the duration of the call. tagOut receives the
+// TagSize-byte tag (typically a slice of the window's staging buffer).
+func (s *sealer) sealChunkWith(sc *sealScratch, ct, tagOut []byte, chunk int, counter uint32, plain []byte) {
+	sc.ctr.XORKeyStream(s.block, s.iv(chunk, counter), ct, plain)
+	msg := s.macInputInto(sc.msg[:0], chunk, counter, ct)
+	var tag [TagSize]byte
+	if s.cfg.MAC == PMAC {
+		tag = s.pmac.SumWith(&sc.pmac, msg)
+	} else {
+		sc.hmac.Tag(msg, &tag)
+	}
+	copy(tagOut, tag[:])
+	sc.msg = msg[:0]
 }
 
 // openChunk verifies and decrypts a chunk at a write epoch.
@@ -125,20 +167,30 @@ func (s *sealer) openChunk(chunk int, counter uint32, ct []byte, tag [TagSize]by
 // decrypt/verify fan-out.
 func (s *sealer) openChunkInto(dst []byte, chunk int, counter uint32, ct []byte, tag [TagSize]byte) error {
 	sc := s.scratch.Get().(*sealScratch)
+	err := s.openChunkWith(sc, dst, chunk, counter, ct, tag[:])
+	s.scratch.Put(sc)
+	return err
+}
+
+// openChunkWith is the allocation-free core of openChunkInto: the caller
+// owns sc exclusively for the duration of the call. tag is the
+// TagSize-byte stored tag (typically a slice of the window's staging
+// buffer).
+func (s *sealer) openChunkWith(sc *sealScratch, dst []byte, chunk int, counter uint32, ct, tag []byte) error {
 	msg := s.macInputInto(sc.msg[:0], chunk, counter, ct)
+	var t [TagSize]byte
+	copy(t[:], tag)
 	ok := false
 	if s.cfg.MAC == PMAC {
-		ok = s.pmac.Verify(msg, tag)
+		ok = s.pmac.VerifyWith(&sc.pmac, msg, t)
 	} else {
-		ok = hmacx.Verify(s.macKey, msg, tag)
+		ok = sc.hmac.Verify(msg, t)
 	}
 	sc.msg = msg[:0]
 	if !ok {
-		s.scratch.Put(sc)
 		return &IntegrityError{Region: s.cfg.Name, Chunk: chunk}
 	}
-	sc.ctr.XORKeyStream(s.engine.Cipher(), s.iv(chunk, counter), dst, ct)
-	s.scratch.Put(sc)
+	sc.ctr.XORKeyStream(s.block, s.iv(chunk, counter), dst, ct)
 	return nil
 }
 
@@ -182,7 +234,7 @@ func SealRegionData(cfg RegionConfig, regionID uint32, dek, data []byte) (ct, ta
 	if uint64(len(data)) != cfg.Size {
 		return nil, nil, fmt.Errorf("shield: region %q image is %d bytes, want %d", cfg.Name, len(data), cfg.Size)
 	}
-	s, err := newSealer(cfg, regionID, dek)
+	s, err := newSealer(cfg, regionID, dek, engine.Auto)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -210,7 +262,7 @@ func OpenRegionData(cfg RegionConfig, regionID uint32, dek, ct, tags []byte, cou
 	if counters != nil && len(counters) != cfg.Chunks() {
 		return nil, errors.New("shield: counter array has wrong size")
 	}
-	s, err := newSealer(cfg, regionID, dek)
+	s, err := newSealer(cfg, regionID, dek, engine.Auto)
 	if err != nil {
 		return nil, err
 	}

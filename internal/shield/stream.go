@@ -147,8 +147,7 @@ func (s *engineSet) readWindow(addr uint64, buf []byte, first bool) (uint64, err
 	c0 := int((addr - s.cfg.Base) / uint64(cs))
 	n := len(buf) / cs
 
-	win := s.windows.Get().(*streamWindow)
-	defer s.windows.Put(win)
+	win := s.win
 	fetch := win.idx[:0]
 	for i := 0; i < n; i++ {
 		chunk := c0 + i
@@ -191,20 +190,17 @@ func (s *engineSet) readWindow(addr uint64, buf []byte, first bool) (uint64, err
 }
 
 // openFanout verifies and decrypts the fetched chunks of a window into
-// buf, on up to AESEngines goroutines (the shared fanout helper). Callers
-// hold s.mu, so worker reads of counters and the sealer are exclusive with
-// all mutation.
+// buf through the engine pool's persistent workers (runJob). Callers hold
+// s.mu, so worker reads of counters and the sealer are exclusive with all
+// mutation.
 func (s *engineSet) openFanout(win *streamWindow, fetch []int, c0, cs int, buf []byte) error {
-	s.fanout(len(fetch), func(slot int) {
-		i := fetch[slot]
-		chunk := c0 + i
-		var tag [TagSize]byte
-		copy(tag[:], win.tags[i*TagSize:])
-		win.errs[slot] = s.seal.openChunkInto(buf[i*cs:(i+1)*cs], chunk, s.counters[chunk], win.ct[i*cs:(i+1)*cs], tag)
-	})
-	for slot := range fetch {
-		if err := win.errs[slot]; err != nil {
-			win.errs[slot] = nil
+	for k, i := range fetch {
+		s.jobSlots[k], s.jobChunks[k], s.jobDsts[k] = i, c0+i, buf[i*cs:(i+1)*cs]
+	}
+	s.runJob(true, len(fetch))
+	for k := range fetch {
+		if err := win.errs[k]; err != nil {
+			win.errs[k] = nil
 			return err
 		}
 	}
@@ -232,8 +228,7 @@ func (s *engineSet) writeWindow(addr uint64, data []byte, first bool) (uint64, e
 	c0 := int((addr - s.cfg.Base) / uint64(cs))
 	n := len(data) / cs
 
-	win := s.windows.Get().(*streamWindow)
-	defer s.windows.Put(win)
+	win := s.win
 
 	// New write epoch for every chunk before sealing it.
 	if s.cfg.Freshness {
@@ -242,13 +237,11 @@ func (s *engineSet) writeWindow(addr uint64, data []byte, first bool) (uint64, e
 		}
 	}
 
-	// Stage 1: seal fan-out across the engine pool.
-	s.fanout(n, func(i int) {
-		chunk := c0 + i
-		var tag [TagSize]byte
-		s.seal.sealChunkInto(win.ct[i*cs:(i+1)*cs], &tag, chunk, s.counters[chunk], data[i*cs:(i+1)*cs])
-		copy(win.tags[i*TagSize:], tag[:])
-	})
+	// Stage 1: seal fan-out across the engine pool's persistent workers.
+	for i := 0; i < n; i++ {
+		s.jobSlots[i], s.jobChunks[i], s.jobDsts[i] = i, c0+i, data[i*cs:(i+1)*cs]
+	}
+	s.runJob(false, n)
 
 	// Stage 2: one batched store for the window's ciphertext and tags.
 	dramBusy, dramBus, err := s.storeRun(win, 0, c0, n)
@@ -388,8 +381,7 @@ func (s *engineSet) readWindowSlots(chunks, offs []int, buf []byte, first bool) 
 	cs := s.cfg.ChunkSize
 	n := len(chunks)
 
-	win := s.windows.Get().(*streamWindow)
-	defer s.windows.Put(win)
+	win := s.win
 	fetch := win.idx[:0]
 	for i := 0; i < n; i++ {
 		chunk := chunks[i]
@@ -425,16 +417,13 @@ func (s *engineSet) readWindowSlots(chunks, offs []int, buf []byte, first bool) 
 	}
 
 	// Stage 2: decrypt/verify fan-out into the scattered destinations.
-	s.fanout(len(fetch), func(slot int) {
-		i := fetch[slot]
-		chunk := chunks[i]
-		var tag [TagSize]byte
-		copy(tag[:], win.tags[i*TagSize:])
-		win.errs[slot] = s.seal.openChunkInto(buf[offs[i]:offs[i]+cs], chunk, s.counters[chunk], win.ct[i*cs:(i+1)*cs], tag)
-	})
-	for slot := range fetch {
-		if err := win.errs[slot]; err != nil {
-			win.errs[slot] = nil
+	for k, i := range fetch {
+		s.jobSlots[k], s.jobChunks[k], s.jobDsts[k] = i, chunks[i], buf[offs[i]:offs[i]+cs]
+	}
+	s.runJob(true, len(fetch))
+	for k := range fetch {
+		if err := win.errs[k]; err != nil {
+			win.errs[k] = nil
 			s.integrityErr = err
 			return s.busyCycles - start, err
 		}
@@ -457,8 +446,7 @@ func (s *engineSet) writeWindowSlots(chunks, offs []int, data []byte, first bool
 	cs := s.cfg.ChunkSize
 	n := len(chunks)
 
-	win := s.windows.Get().(*streamWindow)
-	defer s.windows.Put(win)
+	win := s.win
 
 	// New write epoch for every chunk before sealing it.
 	if s.cfg.Freshness {
@@ -467,13 +455,11 @@ func (s *engineSet) writeWindowSlots(chunks, offs []int, data []byte, first bool
 		}
 	}
 
-	// Stage 1: seal fan-out across the engine pool.
-	s.fanout(n, func(i int) {
-		chunk := chunks[i]
-		var tag [TagSize]byte
-		s.seal.sealChunkInto(win.ct[i*cs:(i+1)*cs], &tag, chunk, s.counters[chunk], data[offs[i]:offs[i]+cs])
-		copy(win.tags[i*TagSize:], tag[:])
-	})
+	// Stage 1: seal fan-out across the engine pool's persistent workers.
+	for i := 0; i < n; i++ {
+		s.jobSlots[i], s.jobChunks[i], s.jobDsts[i] = i, chunks[i], data[offs[i]:offs[i]+cs]
+	}
+	s.runJob(false, n)
 
 	// Stage 2: one batched store per contiguous chunk run.
 	var dramBusy, dramBus uint64

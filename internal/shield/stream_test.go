@@ -338,15 +338,21 @@ func streamBenchConfig(size uint64) Config {
 // newStreamRig provisions a shield with size bytes of sealed data
 // preloaded in DRAM (the Data Owner DMA path), ready to fetch and verify.
 func newStreamRig(tb testing.TB, size uint64) (*Shield, []byte) {
+	return newStreamRigParams(tb, streamBenchConfig(size), size, perf.Default())
+}
+
+// newStreamRigParams is newStreamRig with the region config and perf
+// parameters (notably CryptoEngine) chosen by the caller. cfg's first
+// region must be named "bulk" with Base 0 and Size size.
+func newStreamRigParams(tb testing.TB, cfg Config, size uint64, params perf.Params) (*Shield, []byte) {
 	tb.Helper()
-	cfg := streamBenchConfig(size)
-	dram := mem.NewDRAM(2*size+1<<20, perf.Default())
+	dram := mem.NewDRAM(2*size+1<<20, params)
 	ocm := mem.NewOCM(1 << 30)
 	priv, err := schnorr.GenerateKey(modp.TestGroup, nil)
 	if err != nil {
 		tb.Fatal(err)
 	}
-	sh, err := New(cfg, priv, dram, ocm, perf.Default())
+	sh, err := New(cfg, priv, dram, ocm, params)
 	if err != nil {
 		tb.Fatal(err)
 	}
