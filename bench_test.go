@@ -220,16 +220,26 @@ func BenchmarkClusterThroughput(b *testing.B) {
 	var rows []experiments.ClusterRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.ClusterThroughput(scale(b))
+		// The sweep stops the timer around cluster construction, sealed
+		// key-DB provisioning, and warm-up, so real ops/sec measures
+		// steady-state serving only.
+		rows, err = experiments.ClusterThroughput(b, scale(b))
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+	byShards := make(map[int]experiments.ClusterRow)
 	for _, r := range rows {
+		byShards[r.Shards] = r
 		b.Logf("shards=%d workers=%d  %6d ops in %8s  %9.0f ops/sec  sim %9.0f ops/sec (max-busy %d cyc)",
 			r.Shards, r.Workers, r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec, r.SimOpsPerSec, r.SimMaxBusy)
 		b.ReportMetric(r.OpsPerSec, fmt.Sprintf("ops/sec-%dshard", r.Shards))
 		b.ReportMetric(r.SimOpsPerSec, fmt.Sprintf("sim-ops/sec-%dshard", r.Shards))
+	}
+	// The headline scaling gate: real (wall-clock) throughput ratio from
+	// one shard to eight. benchtab -check fails the PR if this flattens.
+	if r1, r8 := byShards[1], byShards[8]; r1.OpsPerSec > 0 && r8.OpsPerSec > 0 {
+		b.ReportMetric(r8.OpsPerSec/r1.OpsPerSec, "real-cluster-scale-x")
 	}
 }
 
@@ -239,7 +249,7 @@ func BenchmarkClusterGoroutines(b *testing.B) {
 	var rows []experiments.ClusterRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.ClusterWorkerSweep(scale(b))
+		rows, err = experiments.ClusterWorkerSweep(b, scale(b))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -16,9 +16,17 @@ package main
 //     loop is allocation-free by design, and any new per-op allocation is
 //     a hot-path regression regardless of the host.
 //
-// Real wall-clock metrics (the "real-" family: real-stream-MB/s,
-// real-flush-MB/s) and ns/op are recorded in the artifact for
-// trend-watching only — they vary with CI hardware.
+//   - Real wall-clock metrics (the "real-" family: real-stream-MB/s,
+//     real-flush-MB/s, real-cluster-scale-x) gate with their own, looser
+//     budget (-real-threshold): they vary with CI hardware, so the budget
+//     absorbs host noise, but a floor keeps a real win from silently
+//     rotting. real-cluster-scale-x additionally gates absolutely: the
+//     8-shard/1-shard real throughput ratio must stay ≥ 2.0 regardless of
+//     the baseline — that ratio is host-relative (both ends run on the
+//     same machine), and it is the PR sequence's headline scaling claim.
+//
+// Plain ns/op and ops/sec-* values are recorded in the artifacts for
+// trend-watching only.
 
 import (
 	"bufio"
@@ -126,9 +134,49 @@ func loadBenchDoc(path string) (*BenchDoc, error) {
 }
 
 // gatedMetric reports whether a metric name participates in the
-// regression gate: deterministic simulated throughput, higher is better.
+// regression gate: deterministic simulated throughput or real wall-clock
+// family, both higher is better.
 func gatedMetric(name string) bool {
-	return strings.HasPrefix(name, "sim-")
+	return strings.HasPrefix(name, "sim-") || strings.HasPrefix(name, "real-")
+}
+
+// realMetric selects the real wall-clock family, which gates with the
+// looser -real-threshold budget.
+func realMetric(name string) bool {
+	return strings.HasPrefix(name, "real-")
+}
+
+// scaleFloorMetric and scaleFloor are the absolute gate on the cluster
+// scaling win: real ops/sec must grow at least 2x from one shard to
+// eight, baseline or no baseline.
+const (
+	scaleFloorMetric = "real-cluster-scale-x"
+	scaleFloor       = 2.0
+)
+
+// checkScaleFloor applies the absolute scaling gate to the PR run. The
+// metric's absence is a failure: a run that stopped measuring fleet
+// scaling must not pass the gate that exists to protect it.
+func checkScaleFloor(pr *BenchDoc) (regressions, report []string) {
+	found := false
+	for _, e := range pr.Benchmarks {
+		v, ok := e.Metrics[scaleFloorMetric]
+		if !ok {
+			continue
+		}
+		found = true
+		if v < scaleFloor {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %s = %.2f, floor %.1f — real cluster throughput no longer scales with shards", e.key(), scaleFloorMetric, v, scaleFloor))
+		} else {
+			report = append(report, fmt.Sprintf("%s %s: %.2f (floor %.1f)", e.Name, scaleFloorMetric, v, scaleFloor))
+		}
+	}
+	if !found {
+		regressions = append(regressions, fmt.Sprintf(
+			"%s missing from PR run — the cluster scaling benchmark did not report it", scaleFloorMetric))
+	}
+	return regressions, report
 }
 
 // allocGated reports whether a benchmark's allocs/op gates absolutely at
@@ -182,7 +230,7 @@ func (e BenchEntry) sortedGated() []string {
 // metric must be present in the PR run: a benchmark or metric that
 // disappears is a regression, never a silent pass — a vanished metric is
 // indistinguishable from an unmeasured one.
-func checkRegression(baseline, pr *BenchDoc, threshold float64) (regressions, report, newMetrics []string) {
+func checkRegression(baseline, pr *BenchDoc, threshold, realThreshold float64) (regressions, report, newMetrics []string) {
 	prByName := map[string]BenchEntry{}
 	for _, e := range pr.Benchmarks {
 		prByName[e.key()] = e
@@ -205,11 +253,15 @@ func checkRegression(baseline, pr *BenchDoc, threshold float64) (regressions, re
 			if baseVal <= 0 {
 				continue // present, but not comparable as higher-is-better
 			}
+			budget := threshold
+			if realMetric(metric) {
+				budget = realThreshold
+			}
 			ratio := curVal / baseVal
 			line := fmt.Sprintf("%s %s: baseline %.3f, pr %.3f (%+.1f%%)", base.Name, metric, baseVal, curVal, (ratio-1)*100)
 			report = append(report, line)
-			if curVal < baseVal*(1-threshold) {
-				regressions = append(regressions, line+fmt.Sprintf(" — exceeds the %.0f%% regression budget", threshold*100))
+			if curVal < baseVal*(1-budget) {
+				regressions = append(regressions, line+fmt.Sprintf(" — exceeds the %.0f%% regression budget", budget*100))
 			}
 		}
 	}
@@ -228,7 +280,7 @@ func checkRegression(baseline, pr *BenchDoc, threshold float64) (regressions, re
 }
 
 // runCheck runs the -check mode and returns the process exit code.
-func runCheck(baselinePath, prPath string, threshold float64, w io.Writer) int {
+func runCheck(baselinePath, prPath string, threshold, realThreshold float64, w io.Writer) int {
 	baseline, err := loadBenchDoc(baselinePath)
 	if err != nil {
 		fmt.Fprintf(w, "benchtab -check: %v\n", err)
@@ -239,15 +291,20 @@ func runCheck(baselinePath, prPath string, threshold float64, w io.Writer) int {
 		fmt.Fprintf(w, "benchtab -check: %v\n", err)
 		return 2
 	}
-	regressions, report, newMetrics := checkRegression(baseline, pr, threshold)
+	regressions, report, newMetrics := checkRegression(baseline, pr, threshold, realThreshold)
 	allocRegressions, allocReport := checkAllocs(pr)
 	regressions = append(regressions, allocRegressions...)
-	fmt.Fprintf(w, "benchtab -check: %d gated metrics vs %s (budget %.0f%%), %d zero-alloc gates\n",
-		len(report), baselinePath, threshold*100, len(allocReport))
+	scaleRegressions, scaleReport := checkScaleFloor(pr)
+	regressions = append(regressions, scaleRegressions...)
+	fmt.Fprintf(w, "benchtab -check: %d gated metrics vs %s (sim budget %.0f%%, real budget %.0f%%), %d zero-alloc gates, scaling floor %.1fx\n",
+		len(report), baselinePath, threshold*100, realThreshold*100, len(allocReport), scaleFloor)
 	for _, line := range report {
 		fmt.Fprintln(w, "  ", line)
 	}
 	for _, line := range allocReport {
+		fmt.Fprintln(w, "  ", line)
+	}
+	for _, line := range scaleReport {
 		fmt.Fprintln(w, "  ", line)
 	}
 	if len(newMetrics) > 0 {

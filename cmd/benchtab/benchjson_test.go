@@ -56,18 +56,18 @@ func TestCheckRegressionGate(t *testing.T) {
 		{Name: "A", Metrics: map[string]float64{"sim-speedup-x": 1.8, "ns/op": 900}},
 		{Name: "B", Metrics: map[string]float64{"sim-ops/sec-4shard": 1500}},
 	}}
-	if regs, _, _ := checkRegression(base, pr, 0.20); len(regs) != 0 {
+	if regs, _, _ := checkRegression(base, pr, 0.20, 0.50); len(regs) != 0 {
 		t.Fatalf("within-budget run flagged: %v", regs)
 	}
 	// Beyond budget: 30% down must fail.
 	pr.Benchmarks[0].Metrics["sim-speedup-x"] = 1.4
-	regs, _, _ := checkRegression(base, pr, 0.20)
+	regs, _, _ := checkRegression(base, pr, 0.20, 0.50)
 	if len(regs) != 1 || !strings.Contains(regs[0], "sim-speedup-x") {
 		t.Fatalf("regression not flagged: %v", regs)
 	}
 	// A benchmark vanishing from the PR run is a regression too.
 	pr.Benchmarks = pr.Benchmarks[1:]
-	if regs, _, _ := checkRegression(base, pr, 0.20); len(regs) == 0 {
+	if regs, _, _ := checkRegression(base, pr, 0.20, 0.50); len(regs) == 0 {
 		t.Fatal("missing benchmark not flagged")
 	}
 }
@@ -82,20 +82,20 @@ func TestCheckFailsWhenGatedMetricDisappears(t *testing.T) {
 	pr := &BenchDoc{Benchmarks: []BenchEntry{
 		{Name: "A", Metrics: map[string]float64{"sim-flush-MiB/s": 3000, "ns/op": 90}},
 	}}
-	regs, _, _ := checkRegression(base, pr, 0.20)
+	regs, _, _ := checkRegression(base, pr, 0.20, 0.50)
 	if len(regs) != 1 || !strings.Contains(regs[0], "sim-flush-speedup-x") || !strings.Contains(regs[0], "missing") {
 		t.Fatalf("vanished metric not flagged: %v", regs)
 	}
 	// Both gated metrics vanish along with a whole benchmark: one
 	// regression line per metric, none silently dropped.
 	pr.Benchmarks = nil
-	regs, _, _ = checkRegression(base, pr, 0.20)
+	regs, _, _ = checkRegression(base, pr, 0.20, 0.50)
 	if len(regs) != 2 {
 		t.Fatalf("want one regression per vanished gated metric, got %v", regs)
 	}
 	// A non-gated metric vanishing (host noise) is not a failure.
 	pr.Benchmarks = []BenchEntry{{Name: "A", Metrics: map[string]float64{"sim-flush-speedup-x": 2.1, "sim-flush-MiB/s": 3000}}}
-	if regs, _, _ := checkRegression(base, pr, 0.20); len(regs) != 0 {
+	if regs, _, _ := checkRegression(base, pr, 0.20, 0.50); len(regs) != 0 {
 		t.Fatalf("vanished ns/op flagged: %v", regs)
 	}
 }
@@ -156,6 +156,55 @@ BenchmarkRealReadStream/hardware-4   	     100	   1081592 ns/op	 969.45 MB/s	   
 	}
 }
 
+func TestCheckRealFamilyBudget(t *testing.T) {
+	base := &BenchDoc{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkRealReadStream", Metrics: map[string]float64{"real-stream-MB/s": 1000}},
+		{Name: "A", Metrics: map[string]float64{"sim-speedup-x": 2.0}},
+	}}
+	// 40% down on a real- metric: inside the loose wall-clock budget,
+	// but the same drop on a sim- metric would fail — the families gate
+	// with different budgets.
+	pr := &BenchDoc{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkRealReadStream", Metrics: map[string]float64{"real-stream-MB/s": 600}},
+		{Name: "A", Metrics: map[string]float64{"sim-speedup-x": 2.0}},
+	}}
+	if regs, _, _ := checkRegression(base, pr, 0.20, 0.50); len(regs) != 0 {
+		t.Fatalf("within-real-budget run flagged: %v", regs)
+	}
+	// 60% down breaches even the loose budget: the floor holds.
+	pr.Benchmarks[0].Metrics["real-stream-MB/s"] = 400
+	regs, _, _ := checkRegression(base, pr, 0.20, 0.50)
+	if len(regs) != 1 || !strings.Contains(regs[0], "real-stream-MB/s") {
+		t.Fatalf("real-family floor not enforced: %v", regs)
+	}
+	// A vanished real- metric fails like a vanished sim- one.
+	delete(pr.Benchmarks[0].Metrics, "real-stream-MB/s")
+	if regs, _, _ := checkRegression(base, pr, 0.20, 0.50); len(regs) != 1 {
+		t.Fatalf("vanished real metric not flagged: %v", regs)
+	}
+}
+
+func TestCheckScaleFloor(t *testing.T) {
+	// Healthy scaling passes and is reported.
+	pr := &BenchDoc{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkClusterThroughput", Metrics: map[string]float64{"real-cluster-scale-x": 5.4}},
+	}}
+	regs, report := checkScaleFloor(pr)
+	if len(regs) != 0 || len(report) != 1 {
+		t.Fatalf("healthy scaling: regs=%v report=%v", regs, report)
+	}
+	// Flat scaling fails absolutely, baseline or not.
+	pr.Benchmarks[0].Metrics["real-cluster-scale-x"] = 1.3
+	if regs, _ := checkScaleFloor(pr); len(regs) != 1 || !strings.Contains(regs[0], "floor") {
+		t.Fatalf("flat scaling not flagged: %v", regs)
+	}
+	// And so does not measuring it at all.
+	delete(pr.Benchmarks[0].Metrics, "real-cluster-scale-x")
+	if regs, _ := checkScaleFloor(pr); len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("unmeasured scaling not flagged: %v", regs)
+	}
+}
+
 func TestCheckListsNewMetrics(t *testing.T) {
 	base := &BenchDoc{Benchmarks: []BenchEntry{
 		{Name: "A", Metrics: map[string]float64{"sim-speedup-x": 2.0}},
@@ -164,7 +213,7 @@ func TestCheckListsNewMetrics(t *testing.T) {
 		{Name: "A", Metrics: map[string]float64{"sim-speedup-x": 2.1, "sim-prefetch-speedup-x": 1.9, "ns/op": 50}},
 		{Name: "C", Metrics: map[string]float64{"sim-flush-speedup-x": 2.1, "MB/s": 80}},
 	}}
-	regs, _, newM := checkRegression(base, pr, 0.20)
+	regs, _, newM := checkRegression(base, pr, 0.20, 0.50)
 	if len(regs) != 0 {
 		t.Fatalf("unexpected regressions: %v", regs)
 	}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"shef/internal/experiments"
+	"shef/internal/profiling"
 )
 
 func main() {
@@ -33,11 +34,14 @@ func main() {
 	oramFlag := flag.Bool("oram", false, "run the Path ORAM path-cost sweep (serial vs batched, §5.2.2)")
 	all := flag.Bool("all", false, "regenerate everything")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
+	profileFlag := flag.Bool("profile", false, "run the cluster sweeps under the profiling harness and print the on/off-CPU attribution table")
+	profileDir := flag.String("profiledir", "profiles", "output directory for -profile (cpu/mutex/block pprof + trace)")
 	jsonFlag := flag.Bool("json", false, "parse `go test -bench` output on stdin into JSON on stdout")
 	checkFlag := flag.Bool("check", false, "compare -pr against -baseline and fail on regressions")
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline document for -check")
 	prPath := flag.String("pr", "BENCH_pr.json", "PR document for -check")
-	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression of gated metrics for -check")
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression of sim-gated metrics for -check")
+	realThreshold := flag.Float64("real-threshold", 0.50, "allowed fractional regression of real- wall-clock metrics for -check (looser: they vary with host)")
 	flag.Parse()
 
 	if *jsonFlag {
@@ -47,12 +51,17 @@ func main() {
 		return
 	}
 	if *checkFlag {
-		os.Exit(runCheck(*baselinePath, *prPath, *threshold, os.Stdout))
+		os.Exit(runCheck(*baselinePath, *prPath, *threshold, *realThreshold, os.Stdout))
 	}
 
 	scale := experiments.Quick
 	if *scaleFlag == "paper" {
 		scale = experiments.Paper
+	}
+
+	if *profileFlag {
+		runProfile(*profileDir, scale)
+		return
 	}
 
 	any := false
@@ -186,7 +195,7 @@ func printTable3(scale experiments.Scale) {
 
 func printCluster(scale experiments.Scale) {
 	fmt.Println("== SDP cluster throughput: ops/sec vs fleet size (8 client goroutines) ==")
-	rows, err := experiments.ClusterThroughput(scale)
+	rows, err := experiments.ClusterThroughput(nil, scale)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -198,7 +207,7 @@ func printCluster(scale experiments.Scale) {
 	fmt.Println("(host ops/sec is bounded by real cores; sim ops/sec is the fleet model: ops over the busiest shard's cycles)")
 	fmt.Println()
 	fmt.Println("== SDP cluster throughput: ops/sec vs offered load (4 shards) ==")
-	rows, err = experiments.ClusterWorkerSweep(scale)
+	rows, err = experiments.ClusterWorkerSweep(nil, scale)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -208,6 +217,24 @@ func printCluster(scale experiments.Scale) {
 			r.Shards, r.Workers, r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
 	}
 	fmt.Println()
+}
+
+// runProfile wraps the cluster sweeps in the profiling harness: CPU,
+// mutex, and block profiles plus an execution trace land in dir, and the
+// merged on/off-CPU attribution table prints after the sweep output. This
+// is the CLI face of internal/profiling — the same files feed
+// `go tool pprof` / `go tool trace` for deeper digs.
+func runProfile(dir string, scale experiments.Scale) {
+	fmt.Printf("== cluster sweeps under the profiling harness (profiles in %s/) ==\n\n", dir)
+	tbl, err := profiling.Run(profiling.Config{Dir: dir, Trace: true, TopN: 12}, func() error {
+		printCluster(scale)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tbl.String())
+	fmt.Printf("\nprofiles: %s/cpu.pprof %s/mutex.pprof %s/block.pprof %s/trace.out\n", dir, dir, dir, dir)
 }
 
 func printORAM(scale experiments.Scale) {

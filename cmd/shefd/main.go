@@ -38,6 +38,7 @@ func main() {
 	params := flag.String("params", "", "design parameters, k=v[,k=v...]")
 	variant := flag.String("variant", "128/16x", "shield engine variant (128/4x, 128/16x, 256/4x, 256/16x, +pmac suffix)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	debugAddr := flag.String("debug", "", "serve net/http/pprof and /debug/stats on this address (off when empty)")
 	flag.Parse()
 
 	v, err := parseVariant(*variant)
@@ -62,6 +63,15 @@ func main() {
 	fmt.Printf("shefd: designs available in this build: %v\n", accel.Designs())
 	fmt.Printf("shefd: %s\n", engine.Select())
 
+	dbg, err := startDebug(*debugAddr, srv)
+	if err != nil {
+		log.Fatalf("shefd: debug server: %v", err)
+	}
+	if dbg != nil {
+		fmt.Printf("shefd: debug endpoints on http://%s/debug/pprof/ and /debug/stats\n", dbg.Addr())
+		defer dbg.Close()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		errc <- srv.Serve(func(err error) {
@@ -85,6 +95,21 @@ func main() {
 	}
 	st := srv.Stats()
 	fmt.Printf("shefd: served %d session(s), %d failed\n", st.Served, st.Failed)
+}
+
+// startDebug stands up the opt-in observability listener. An empty addr —
+// the default — serves nothing: debug surface is strictly explicit.
+func startDebug(addr string, srv *hostapp.VendorServer) (*hostapp.DebugServer, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	return hostapp.NewDebugServer(addr, func() any {
+		return map[string]any{
+			"server":   srv.Stats(),
+			"sessions": srv.Sessions(),
+			"engine":   engine.Select().String(),
+		}
+	})
 }
 
 func parseParams(s string) map[string]string {

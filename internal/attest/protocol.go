@@ -2,6 +2,7 @@ package attest
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 	"shef/internal/crypto/rsax"
 	"shef/internal/crypto/schnorr"
 	"shef/internal/crypto/sha256x"
+	"shef/internal/profiling"
 )
 
 // CA is the Manufacturer's certificate authority: it maps device serial
@@ -33,15 +35,42 @@ type CA struct {
 // NewCA builds an empty registry.
 func NewCA() *CA { return &CA{devices: make(map[string]*rsax.PublicKey)} }
 
-// Register records a device public key at manufacturing time.
+// Register records a device public key at manufacturing time. The write
+// is wrapped in the profiling taxonomy (attest-op=ca-register): the CA is
+// the one piece of shared mutable state every session touches, so if its
+// lock ever serialises the serving tier, the harness's off-CPU table
+// names it directly.
 func (c *CA) Register(serial string, pub *rsax.PublicKey) {
+	profiling.Region(context.Background(), "attest.CA.Register", func() {
+		if profiling.Enabled() {
+			profiling.Do(context.Background(), func() { c.register(serial, pub) }, "attest-op", "ca-register")
+			return
+		}
+		c.register(serial, pub)
+	})
+}
+
+func (c *CA) register(serial string, pub *rsax.PublicKey) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.devices[serial] = pub
 }
 
-// Lookup resolves a serial to its registered key.
+// Lookup resolves a serial to its registered key (labelled
+// attest-op=ca-lookup under a harness, like Register).
 func (c *CA) Lookup(serial string) (*rsax.PublicKey, error) {
+	if profiling.Enabled() {
+		var pub *rsax.PublicKey
+		var err error
+		profiling.Do(context.Background(), func() {
+			profiling.Region(context.Background(), "attest.CA.Lookup", func() { pub, err = c.lookup(serial) })
+		}, "attest-op", "ca-lookup")
+		return pub, err
+	}
+	return c.lookup(serial)
+}
+
+func (c *CA) lookup(serial string) (*rsax.PublicKey, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	pub, ok := c.devices[serial]

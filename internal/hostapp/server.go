@@ -1,14 +1,18 @@
 package hostapp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"shef/internal/attest"
+	"shef/internal/profiling"
 )
 
 // OwnerSession is one Data Owner connection being served. Each session is
@@ -78,7 +82,18 @@ func (s *VendorServer) Serve(onError func(error)) error {
 		go func() {
 			defer s.wg.Done()
 			defer s.release(sess)
-			if err := s.vendor.HandleOwner(conn); err != nil {
+			// Each session goroutine carries its session ID as a profiling
+			// label and runs inside a trace region, so a harness attributes
+			// serving CPU per session and the execution trace shows session
+			// lifetimes. Sessions are connection-rate, not op-rate, so the
+			// label formatting is off the hot path.
+			var err error
+			profiling.Do(context.Background(), func() {
+				profiling.Region(context.Background(), "hostapp.session", func() {
+					err = s.vendor.HandleOwner(conn)
+				})
+			}, "subsystem", "hostapp", "session", strconv.FormatUint(sess.ID, 10))
+			if err != nil {
 				s.failed.Add(1)
 				if onError != nil {
 					onError(fmt.Errorf("session %d from %s: %w", sess.ID, sess.Remote, err))
@@ -164,6 +179,25 @@ func (s *VendorServer) Stats() ServerStats {
 	active := uint64(len(s.sessions))
 	s.mu.Unlock()
 	return ServerStats{Active: active, Served: s.served.Load(), Failed: s.failed.Load()}
+}
+
+// SessionInfo is one live session as the debug stats endpoint reports it.
+type SessionInfo struct {
+	ID     uint64 `json:"id"`
+	Remote string `json:"remote"`
+}
+
+// Sessions snapshots the live sessions (the per-tenant rows of the
+// -debug stats endpoint), sorted by admission order via their IDs.
+func (s *VendorServer) Sessions() []SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SessionInfo, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, SessionInfo{ID: sess.ID, Remote: sess.Remote})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // ErrServerClosed mirrors net/http's sentinel for callers that want to

@@ -98,6 +98,17 @@ func (d *DRAM) RawRead(addr uint64, n int) ([]byte, error) {
 	return buf, nil
 }
 
+// RawReadInto is RawRead into a caller-owned buffer — the host DMA path
+// of a serving loop, where a fresh allocation per transfer would be the
+// loop's only garbage.
+func (d *DRAM) RawReadInto(addr uint64, buf []byte) error {
+	if err := d.check(addr, len(buf)); err != nil {
+		return err
+	}
+	d.copyOut(addr, buf)
+	return nil
+}
+
 // RawWrite performs an adversarial write (spoofing attack).
 func (d *DRAM) RawWrite(addr uint64, data []byte) error {
 	if err := d.check(addr, len(data)); err != nil {

@@ -1,0 +1,245 @@
+package sdp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+
+	"shef/internal/profiling"
+	"shef/internal/shield"
+)
+
+// Interned shard-index labels for the profiling taxonomy: formatting the
+// index per operation would put an allocation on the serving hot path
+// even though labels only matter while a harness runs.
+var shardLabels = [...]string{"0", "1", "2", "3", "4", "5", "6", "7",
+	"8", "9", "10", "11", "12", "13", "14", "15"}
+
+func shardLabel(i int) string {
+	if i >= 0 && i < len(shardLabels) {
+		return shardLabels[i]
+	}
+	return strconv.Itoa(i)
+}
+
+// doOp wraps one client operation in the profiling label taxonomy
+// (sdp-op=put|get, sdp-shard=N) when a harness is active. The call is
+// explicitly branched at every site rather than funnelled through a
+// closure so the disabled path performs the operation directly — no
+// closure escapes, no allocations, no label building.
+func doOp(op string, shard int, f func() error) error {
+	var err error
+	profiling.Do(context.Background(), func() { err = f() },
+		"sdp-op", op, "sdp-shard", shardLabel(shard))
+	return err
+}
+
+// TLSSession is a Data Owner endpoint onto one Storage Node's tls
+// region: a persistent region sealer plus staging buffers, built once
+// per session instead of per message. It moves the client half of the
+// TLS path — sealing requests, opening responses — onto the client's
+// own goroutine, so the node's serialised section carries only node
+// work (the paper's trust split: the Data Owner's endpoint is not part
+// of the Storage Node).
+//
+// A TLSSession is not safe for concurrent use; hold one per goroutine.
+type TLSSession struct {
+	rs    *shield.RegionSealer
+	chunk int
+	ct    []byte
+	tags  []byte
+	plain []byte
+}
+
+// NewTLSSession opens a Data Owner endpoint for this node's tls region.
+// (In the full protocol the Data Owner holds the session DEK from
+// attestation; here it comes from the node handle, like the legacy
+// in-process path.)
+func (n *Node) NewTLSSession() (*TLSSession, error) {
+	rs, err := shield.NewRegionSealer(n.tlsCfg, n.tlsLayout.RegionID, n.dek)
+	if err != nil {
+		return nil, err
+	}
+	size := int(n.tlsCfg.Size)
+	return &TLSSession{
+		rs:    rs,
+		chunk: n.cfg.AuthBlock,
+		ct:    make([]byte, size),
+		tags:  make([]byte, size/n.cfg.AuthBlock*shield.TagSize),
+		plain: make([]byte, size),
+	}, nil
+}
+
+// Seal encrypts payload into the session's staging buffers in the tls
+// region's chunk format and returns the ciphertext and tag extents,
+// valid until the next Seal. Feed them to Node.PutSealed.
+func (t *TLSSession) Seal(payload []byte) (ct, tags []byte, err error) {
+	aligned := alignUp(len(payload), t.chunk)
+	if aligned > len(t.plain) || len(payload) == 0 {
+		return nil, nil, fmt.Errorf("sdp: payload of %d bytes outside the tls region's 1..%d", len(payload), len(t.plain))
+	}
+	copy(t.plain, payload)
+	clear(t.plain[len(payload):aligned])
+	k := aligned / t.chunk
+	if err := t.rs.SealRange(0, 0, t.ct[:aligned], t.tags[:k*shield.TagSize], t.plain[:aligned]); err != nil {
+		return nil, nil, err
+	}
+	return t.ct[:aligned], t.tags[:k*shield.TagSize], nil
+}
+
+// Open verifies and decrypts a sealed response extent (from
+// Node.GetSealed) and appends the size payload bytes to dst.
+func (t *TLSSession) Open(dst, ct, tags []byte, size int) ([]byte, error) {
+	aligned := alignUp(size, t.chunk)
+	if aligned > len(t.plain) || size < 0 {
+		return nil, errors.New("sdp: sealed response larger than the tls region")
+	}
+	k := aligned / t.chunk
+	if len(ct) < aligned || len(tags) < k*shield.TagSize {
+		return nil, errors.New("sdp: sealed response extent truncated")
+	}
+	if err := t.rs.OpenRange(0, 0, t.plain[:aligned], ct[:aligned], tags[:k*shield.TagSize]); err != nil {
+		return nil, err
+	}
+	return append(dst[:0], t.plain[:size]...), nil
+}
+
+// Buffers exposes the session's reusable ciphertext/tag staging buffers,
+// sized to the full tls region — the transfer buffers a caller hands to
+// Node.GetSealed before opening the result with the same session.
+func (t *TLSSession) Buffers() (ct, tags []byte) { return t.ct, t.tags }
+
+// Client is a Data Owner endpoint onto the whole fleet: one TLSSession
+// per shard, with Put/Get routed like Cluster.Put/Cluster.Get but with
+// the client-side cryptography on the caller's goroutine. Not safe for
+// concurrent use; create one Client per worker.
+type Client struct {
+	c        *Cluster
+	sessions []*TLSSession
+}
+
+// NewClient opens a Data Owner endpoint with a TLS session to every
+// shard.
+func (c *Cluster) NewClient() (*Client, error) {
+	cl := &Client{c: c, sessions: make([]*TLSSession, len(c.shards))}
+	for i, n := range c.shards {
+		t, err := n.NewTLSSession()
+		if err != nil {
+			return nil, fmt.Errorf("sdp: shard %d session: %w", i, err)
+		}
+		cl.sessions[i] = t
+	}
+	return cl, nil
+}
+
+// Put seals the payload on the client's goroutine and stores it on the
+// file's home shard.
+func (cl *Client) Put(user, name string, payload []byte) error {
+	i := cl.c.ShardFor(name)
+	if profiling.Enabled() {
+		return doOp("put", i, func() error { return cl.put(i, user, name, payload) })
+	}
+	return cl.put(i, user, name, payload)
+}
+
+func (cl *Client) put(i int, user, name string, payload []byte) error {
+	ct, tags, err := cl.sessions[i].Seal(payload)
+	if err == nil {
+		err = cl.c.shards[i].PutSealed(user, name, len(payload), ct, tags)
+	}
+	if err != nil {
+		cl.c.errs.Add(1)
+		return err
+	}
+	cl.c.puts.Add(1)
+	return nil
+}
+
+// PutSealed stores a pre-sealed image (from Seal on the file's home
+// shard session) — the loadgen path, where one sealed request image is
+// replayed many times without resealing.
+func (cl *Client) PutSealed(user, name string, size int, ct, tags []byte) error {
+	i := cl.c.ShardFor(name)
+	if profiling.Enabled() {
+		return doOp("put", i, func() error { return cl.putSealed(i, user, name, size, ct, tags) })
+	}
+	return cl.putSealed(i, user, name, size, ct, tags)
+}
+
+func (cl *Client) putSealed(i int, user, name string, size int, ct, tags []byte) error {
+	if err := cl.c.shards[i].PutSealed(user, name, size, ct, tags); err != nil {
+		cl.c.errs.Add(1)
+		return err
+	}
+	cl.c.puts.Add(1)
+	return nil
+}
+
+// Session returns the client's TLS session for the shard that owns name.
+func (cl *Client) Session(name string) *TLSSession {
+	return cl.sessions[cl.c.ShardFor(name)]
+}
+
+// Get fetches a file, opening the sealed response on the client's
+// goroutine, and appends the payload to dst.
+func (cl *Client) Get(user, name string, dst []byte) ([]byte, error) {
+	i := cl.c.ShardFor(name)
+	if profiling.Enabled() {
+		var out []byte
+		err := doOp("get", i, func() error {
+			var err error
+			out, err = cl.get(i, user, name, dst)
+			return err
+		})
+		return out, err
+	}
+	return cl.get(i, user, name, dst)
+}
+
+func (cl *Client) get(i int, user, name string, dst []byte) ([]byte, error) {
+	t := cl.sessions[i]
+	size, err := cl.c.shards[i].GetSealed(user, name, t.ct, t.tags)
+	if err != nil {
+		cl.c.errs.Add(1)
+		return nil, err
+	}
+	out, err := t.Open(dst, t.ct, t.tags, size)
+	if err != nil {
+		cl.c.errs.Add(1)
+		return nil, err
+	}
+	cl.c.gets.Add(1)
+	return out, nil
+}
+
+// GetSealed fetches a file's sealed response into the home-shard
+// session's staging buffers without opening it — the loadgen path,
+// measuring server-side serving with the client-side open sampled
+// separately. Returns the payload size and the session holding the
+// sealed bytes.
+func (cl *Client) GetSealed(user, name string) (int, *TLSSession, error) {
+	i := cl.c.ShardFor(name)
+	if profiling.Enabled() {
+		var size int
+		var t *TLSSession
+		err := doOp("get", i, func() error {
+			var err error
+			size, t, err = cl.getSealed(i, user, name)
+			return err
+		})
+		return size, t, err
+	}
+	return cl.getSealed(i, user, name)
+}
+
+func (cl *Client) getSealed(i int, user, name string) (int, *TLSSession, error) {
+	t := cl.sessions[i]
+	size, err := cl.c.shards[i].GetSealed(user, name, t.ct, t.tags)
+	if err != nil {
+		cl.c.errs.Add(1)
+		return 0, nil, err
+	}
+	cl.c.gets.Add(1)
+	return size, t, nil
+}

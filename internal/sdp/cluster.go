@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 
@@ -13,6 +12,7 @@ import (
 	"shef/internal/crypto/hmacx"
 	"shef/internal/crypto/kdf"
 	"shef/internal/perf"
+	"shef/internal/profiling"
 )
 
 // ClusterConfig sizes an SDP cluster: the paper's single Storage Node case
@@ -282,11 +282,34 @@ func (c *Cluster) RegisterUser(user string, key []byte) error {
 	return nil
 }
 
-// ShardFor routes a file name to its shard (FNV-1a over the name).
+// ShardIndex is the cluster routing function in the open: FNV-1a over
+// the file name modulo the fleet size (computed inline — the stdlib hash
+// allocates per call, and routing is on every operation's path).
+// Exposed so load generators and capacity planners can reason about
+// placement without a cluster in hand.
+func ShardIndex(name string, shards int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return int(h % uint32(shards))
+}
+
+// ShardFor routes a file name to its shard.
 func (c *Cluster) ShardFor(name string) int {
-	h := fnv.New32a()
-	h.Write([]byte(name))
-	return int(h.Sum32() % uint32(len(c.shards)))
+	return ShardIndex(name, len(c.shards))
+}
+
+// Sync flushes every shard's dirty store lines — the fleet-wide
+// durability barrier of a WriteBack cluster.
+func (c *Cluster) Sync() error {
+	var errs []error
+	for i, n := range c.shards {
+		if err := n.Sync(); err != nil {
+			errs = append(errs, fmt.Errorf("sdp: shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Shards reports the fleet size.
@@ -297,7 +320,15 @@ func (c *Cluster) Node(i int) *Node { return c.shards[i] }
 
 // Put stores a file on its home shard.
 func (c *Cluster) Put(user, name string, payload []byte) error {
-	err := c.shards[c.ShardFor(name)].Put(user, name, payload)
+	i := c.ShardFor(name)
+	if profiling.Enabled() {
+		return doOp("put", i, func() error { return c.put(i, user, name, payload) })
+	}
+	return c.put(i, user, name, payload)
+}
+
+func (c *Cluster) put(i int, user, name string, payload []byte) error {
+	err := c.shards[i].Put(user, name, payload)
 	if err != nil {
 		c.errs.Add(1)
 		return err
@@ -308,7 +339,21 @@ func (c *Cluster) Put(user, name string, payload []byte) error {
 
 // Get fetches a file from its home shard.
 func (c *Cluster) Get(user, name string) ([]byte, error) {
-	data, err := c.shards[c.ShardFor(name)].Get(user, name)
+	i := c.ShardFor(name)
+	if profiling.Enabled() {
+		var data []byte
+		err := doOp("get", i, func() error {
+			var err error
+			data, err = c.get(i, user, name)
+			return err
+		})
+		return data, err
+	}
+	return c.get(i, user, name)
+}
+
+func (c *Cluster) get(i int, user, name string) ([]byte, error) {
+	data, err := c.shards[i].Get(user, name)
 	if err != nil {
 		c.errs.Add(1)
 		return nil, err
@@ -349,6 +394,10 @@ func (c *Cluster) Stats() ClusterStats {
 		for _, r := range rep.Regions {
 			busy += r.BusyCycles
 		}
+		// Cache-served responses bypass the engine sets; their on-chip
+		// copy cost still occupies the node.
+		_, _, respCycles := n.RespCacheStats()
+		busy += respCycles
 		st.BusyCycles += busy
 		if busy > st.MaxBusy {
 			st.MaxBusy = busy
@@ -360,6 +409,36 @@ func (c *Cluster) Stats() ClusterStats {
 		}
 	}
 	return st
+}
+
+// ShardStats is one shard's live debug snapshot — the per-shard half of
+// the -debug stats endpoint (JSON field names are the wire format).
+type ShardStats struct {
+	Shard           int    `json:"shard"`
+	BusyCycles      uint64 `json:"busy_cycles"`
+	RespCacheHits   uint64 `json:"resp_cache_hits"`
+	RespCacheMisses uint64 `json:"resp_cache_misses"`
+	RespCacheCycles uint64 `json:"resp_cache_cycles"`
+}
+
+// PerShardStats snapshots every shard for the debug endpoint: where the
+// fleet's simulated time is going and how the sealed-response caches are
+// doing, one row per Storage Node.
+func (c *Cluster) PerShardStats() []ShardStats {
+	out := make([]ShardStats, len(c.shards))
+	for i, n := range c.shards {
+		rep := n.Report()
+		var busy uint64
+		for _, r := range rep.Regions {
+			busy += r.BusyCycles
+		}
+		hits, misses, cycles := n.RespCacheStats()
+		out[i] = ShardStats{
+			Shard: i, BusyCycles: busy + cycles,
+			RespCacheHits: hits, RespCacheMisses: misses, RespCacheCycles: cycles,
+		}
+	}
+	return out
 }
 
 // ResetStats zeroes the op counters and every shard's Shield counters.

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"shef/internal/crypto/aesx"
+	"shef/internal/crypto/engine"
 	"shef/internal/crypto/kdf"
 	"shef/internal/crypto/keywrap"
 	"shef/internal/crypto/modp"
@@ -51,6 +52,26 @@ type NodeConfig struct {
 	// contents; the ORAM hides the access pattern, at a measured bandwidth
 	// amplification.
 	Oblivious bool
+	// WriteBack is the serving-tier buffer policy: Put leaves the store
+	// region's lines dirty on-chip instead of flushing after every
+	// operation, so a working set that fits the buffer is served without
+	// re-sealing — evictions and Sync write dirty lines back. The
+	// durability barrier moves to Sync; the default (write-through)
+	// policy keeps every Put sealed to DRAM before returning, which is
+	// what the paper's Table 2 measurement models. Oblivious nodes
+	// always write through (the ORAM's visibility schedule is part of
+	// its obliviousness argument).
+	WriteBack bool
+	// ResponseCacheBytes sizes the sealed-response cache: the most
+	// recently served tls images (ciphertext + tags), kept in the node's
+	// on-chip budget next to the network port so a repeat Get of an
+	// unmodified file is answered at line rate without another pass
+	// through either engine set. Safe because the tls region seals
+	// deterministically within a session (no freshness counters on that
+	// region) — a cached image is bit-identical to a re-sealed one — and
+	// Put invalidates the file's entry. 0 disables the cache, which is
+	// the Table 2 configuration (the paper measures the raw data path).
+	ResponseCacheBytes int
 }
 
 // Table2Configs are the five Shield configurations of the paper's Table 2,
@@ -104,11 +125,56 @@ type Node struct {
 	dek    []byte
 	oram   *oram.ORAM // non-nil in oblivious mode; fronts the store region
 
+	tlsCfg    shield.RegionConfig
+	tlsLayout shield.RegionLayout
+
 	mu        sync.Mutex
 	userKeys  map[string][]byte
 	directory map[string]fileEntry
 	nextSlot  int
+
+	// Serving-path state, all under mu. tlsSeal is the node's own TLS
+	// endpoint (legacy Put/Get seal and open inline; the staged API
+	// moves that work to a client-held TLSSession). The staging buffers
+	// grow to the largest payload seen and are reused per operation, so
+	// the steady-state serving loop allocates only the bytes it returns.
+	tlsSeal                      *shield.RegionSealer
+	stageBuf, stageCT, stageTags []byte
+	userCiphers                  map[string]*userCipher
+	ctr                          aesx.CTRStream
+
+	// Sealed-response cache (nil unless cfg.ResponseCacheBytes > 0),
+	// LRU-evicted to stay within its on-chip byte budget. respCycles is
+	// the simulated cost of cache-served responses (an on-chip copy),
+	// accounted separately because cached hits bypass both engine sets.
+	respCache          map[string]*respEntry
+	respBytes          int
+	respClock          uint64
+	respHits, respMiss uint64
+	respCycles         uint64
 }
+
+// respEntry is one cached sealed response: the file's tls image as the
+// Data Owner receives it, plus an LRU stamp.
+type respEntry struct {
+	size     int
+	ct, tags []byte
+	last     uint64
+}
+
+// userCipher is the cached per-(user, file) GDPR layer state: the
+// engine-selected AES block under the derived file key, plus the file IV.
+// Deriving these per operation was pure hot-path waste — the key is a
+// function of (user key, file name) only — and the cache is invalidated
+// wholesale whenever user keys are (re)provisioned.
+type userCipher struct {
+	block aesx.Block
+	iv    [aesx.IVSize]byte
+}
+
+// maxUserCiphers bounds the cipher cache; on overflow the cache resets
+// (a full sweep is simpler than LRU and provisioning-rare).
+const maxUserCiphers = 4096
 
 type fileEntry struct {
 	slot int
@@ -219,6 +285,16 @@ func NewNode(cfg NodeConfig, dek []byte, params perf.Params) (*Node, error) {
 		userKeys:  make(map[string][]byte),
 		directory: make(map[string]fileEntry),
 	}
+	n.tlsCfg = scfg.Regions[1]
+	n.tlsLayout, _ = sh.Layout("tls")
+	n.tlsSeal, err = shield.NewRegionSealer(n.tlsCfg, n.tlsLayout.RegionID, n.dek)
+	if err != nil {
+		return nil, err
+	}
+	n.userCiphers = make(map[string]*userCipher)
+	if cfg.ResponseCacheBytes > 0 {
+		n.respCache = make(map[string]*respEntry)
+	}
 	if cfg.Oblivious {
 		// The leaf-draw seed derives from the session DEK: deterministic
 		// per session, invisible to the host.
@@ -239,60 +315,226 @@ func (n *Node) ProvisionUserKeys(keys map[string][]byte) {
 	for u, k := range keys {
 		n.userKeys[u] = append([]byte(nil), k...)
 	}
+	// A (re)provisioned key invalidates any cached per-file cipher
+	// derived from the old key; provisioning is rare, so drop them all,
+	// along with any sealed responses whose GDPR layer they produced.
+	clear(n.userCiphers)
+	clear(n.respCache)
+	n.respBytes = 0
 }
 
-// tlsRegion returns the tls region config and layout.
-func (n *Node) tlsRegion() (shield.RegionConfig, shield.RegionLayout) {
-	cfg := n.cfg.ShieldConfig().Regions[1]
-	layout, _ := n.sh.Layout("tls")
-	return cfg, layout
+// respInvalidate drops a file's cached sealed response (its content is
+// about to change). Caller holds mu.
+func (n *Node) respInvalidate(name string) {
+	if r, ok := n.respCache[name]; ok {
+		n.respBytes -= len(r.ct) + len(r.tags)
+		delete(n.respCache, name)
+	}
 }
 
-// stageTLSIn is the application→node half of a TLS session: the
-// application's endpoint seals the payload into the tls region image and
-// the untrusted host DMAs it into device memory.
+// respInsert caches a file's sealed response, evicting least-recently
+// served entries until the image fits the on-chip budget. Entries larger
+// than the whole budget are not cached. Caller holds mu.
+func (n *Node) respInsert(name string, size int, ct, tags []byte) {
+	need := len(ct) + len(tags)
+	if n.respCache == nil || need > n.cfg.ResponseCacheBytes {
+		return
+	}
+	n.respInvalidate(name)
+	for n.respBytes+need > n.cfg.ResponseCacheBytes {
+		victim, oldest := "", ^uint64(0)
+		for k, r := range n.respCache {
+			if r.last < oldest {
+				victim, oldest = k, r.last
+			}
+		}
+		n.respInvalidate(victim)
+	}
+	n.respClock++
+	n.respCache[name] = &respEntry{
+		size: size,
+		ct:   append([]byte(nil), ct...),
+		tags: append([]byte(nil), tags...),
+		last: n.respClock,
+	}
+	n.respBytes += need
+}
+
+// respServe answers a Get from the sealed-response cache if the file's
+// image is resident, copying it into the caller's buffers. The simulated
+// cost is one on-chip copy (the cache sits next to the network port; no
+// engine set runs). Caller holds mu and has already authorised the user.
+func (n *Node) respServe(name string, ct, tags []byte) (int, bool) {
+	r, ok := n.respCache[name]
+	if !ok {
+		return 0, false
+	}
+	if len(ct) < len(r.ct) || len(tags) < len(r.tags) {
+		return 0, false
+	}
+	copy(ct, r.ct)
+	copy(tags, r.tags)
+	n.respClock++
+	r.last = n.respClock
+	n.respHits++
+	n.respCycles += uint64(len(r.ct)+len(r.tags))/64 + n.params.ChunkIssueCycles
+	return r.size, true
+}
+
+// RespCacheStats reports the sealed-response cache's activity: hits,
+// misses (Gets that ran the full data path on a cache-enabled node), and
+// the simulated cycles of cache-served responses.
+func (n *Node) RespCacheStats() (hits, misses, cycles uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.respHits, n.respMiss, n.respCycles
+}
+
+// stage sizes the node's reusable staging buffers for an aligned payload
+// of nBytes and returns the plaintext buffer. Caller holds mu.
+func (n *Node) stage(nBytes int) []byte {
+	if cap(n.stageBuf) < nBytes {
+		n.stageBuf = make([]byte, nBytes)
+		n.stageCT = make([]byte, nBytes)
+		n.stageTags = make([]byte, nBytes/n.cfg.AuthBlock*shield.TagSize)
+	}
+	return n.stageBuf[:nBytes]
+}
+
+// dmaTLSIn lands a sealed payload extent in the tls region: the host DMA
+// plus the valid-bit update. Only the extent's chunks are written and
+// marked — the rest of the (large) staging region keeps whatever it held,
+// and crucially the *store* region's buffer residency is untouched (the
+// old path invalidated every clean line in both engine sets per Put,
+// which is exactly the aggregate on-chip cache a fleet of shards needs).
+// Caller holds mu.
+func (n *Node) dmaTLSIn(ct, tags []byte) error {
+	// Defensive drain: staged traffic never leaves tls lines dirty, but a
+	// clean region costs nothing to flush and a dirty one would otherwise
+	// overwrite the DMA on eviction.
+	if err := n.sh.FlushRegion("tls"); err != nil {
+		return err
+	}
+	if err := n.dram.RawWrite(n.tlsLayout.DataBase, ct); err != nil {
+		return err
+	}
+	if err := n.dram.RawWrite(n.tlsLayout.TagBase, tags); err != nil {
+		return err
+	}
+	return n.sh.MarkPreloadedRange("tls", 0, uint64(len(ct)))
+}
+
+// stageTLSIn is the application→node half of a TLS session on the legacy
+// in-process path: the node's own endpoint seals the payload extent and
+// the untrusted host DMAs it into device memory. (The staged API's
+// TLSSession does the same sealing client-side instead.)
 func (n *Node) stageTLSIn(payload []byte) error {
-	cfg, layout := n.tlsRegion()
-	image := make([]byte, cfg.Size)
-	copy(image, payload)
-	ct, tags, err := shield.SealRegionData(cfg, layout.RegionID, n.dek, image)
-	if err != nil {
+	aligned := alignUp(len(payload), n.cfg.AuthBlock)
+	buf := n.stage(aligned)
+	copy(buf, payload)
+	clear(buf[len(payload):])
+	k := aligned / n.cfg.AuthBlock
+	if err := n.tlsSeal.SealRange(0, 0, n.stageCT[:aligned], n.stageTags[:k*shield.TagSize], buf); err != nil {
 		return err
 	}
-	// Drop stale staging state before the DMA lands.
-	if err := n.sh.Flush(); err != nil {
-		return err
-	}
-	n.sh.InvalidateClean()
-	if err := n.dram.RawWrite(layout.DataBase, ct); err != nil {
-		return err
-	}
-	if err := n.dram.RawWrite(layout.TagBase, tags); err != nil {
-		return err
-	}
-	return n.sh.MarkPreloaded("tls")
+	return n.dmaTLSIn(n.stageCT[:aligned], n.stageTags[:k*shield.TagSize])
 }
 
-// stageTLSOut is the node→application half: the host DMAs the tls region
-// ciphertext out and the application endpoint opens it.
+// stageTLSOutSealed flushes the tls staging set and DMAs the sealed
+// payload extent out into ct/tags (which must hold the aligned extent).
+// Caller holds mu.
+func (n *Node) stageTLSOutSealed(aligned int, ct, tags []byte) error {
+	// In oblivious mode the store region carries the ORAM's deferred path
+	// writes; they must land before the host observes the device (the
+	// ORAM's visibility schedule is part of its obliviousness argument).
+	if n.oram != nil {
+		if err := n.sh.FlushRegion("store"); err != nil {
+			return err
+		}
+	}
+	if err := n.sh.FlushRegion("tls"); err != nil {
+		return err
+	}
+	if err := n.dram.RawReadInto(n.tlsLayout.DataBase, ct); err != nil {
+		return err
+	}
+	return n.dram.RawReadInto(n.tlsLayout.TagBase, tags)
+}
+
+// stageTLSOut is the node→application half on the legacy path: DMA the
+// sealed extent out and open it with the node's own endpoint.
 func (n *Node) stageTLSOut(size int) ([]byte, error) {
-	cfg, layout := n.tlsRegion()
-	if err := n.sh.Flush(); err != nil {
+	aligned := alignUp(size, n.cfg.AuthBlock)
+	k := aligned / n.cfg.AuthBlock
+	ct, tags := n.stageCT[:aligned], n.stageTags[:k*shield.TagSize]
+	if err := n.stageTLSOutSealed(aligned, ct, tags); err != nil {
 		return nil, err
 	}
-	ct, err := n.dram.RawRead(layout.DataBase, int(layout.DataSize))
-	if err != nil {
+	out := make([]byte, aligned)
+	if err := n.tlsSeal.OpenRange(0, 0, out, ct, tags); err != nil {
 		return nil, err
 	}
-	tags, err := n.dram.RawRead(layout.TagBase, int(layout.TagSize))
-	if err != nil {
-		return nil, err
+	return out[:size], nil
+}
+
+// reserve validates a Put and allocates the file's slot entry. Caller
+// holds mu and commits with n.directory[name] = entry on success.
+func (n *Node) reserve(user, name string, size int) (fileEntry, error) {
+	if _, ok := n.userKeys[user]; !ok {
+		return fileEntry{}, fmt.Errorf("sdp: user %q has no provisioned key", user)
 	}
-	img, err := shield.OpenRegionData(cfg, layout.RegionID, n.dek, ct, tags, nil)
-	if err != nil {
-		return nil, err
+	if size > n.cfg.SlotBytes {
+		return fileEntry{}, fmt.Errorf("sdp: file of %d bytes exceeds slot size %d", size, n.cfg.SlotBytes)
 	}
-	return img[:size], nil
+	entry, ok := n.directory[name]
+	if !ok {
+		if n.nextSlot >= n.cfg.Slots {
+			return fileEntry{}, errors.New("sdp: node full")
+		}
+		entry = fileEntry{slot: n.nextSlot}
+		n.nextSlot++
+	}
+	entry.size = size
+	entry.user = user
+	return entry, nil
+}
+
+// putStaged is the node half of a Put once the sealed tls image has been
+// DMAed in: pull the extent through the tls engine set (decrypt+verify),
+// apply the per-user GDPR layer, push through the store engine set.
+// Caller holds mu.
+func (n *Node) putStaged(user, name string, entry fileEntry) error {
+	aligned := alignUp(entry.size, n.cfg.AuthBlock)
+	buf := n.stage(aligned)
+	if _, err := n.sh.ReadBurst(tlsBase, buf); err != nil {
+		return err
+	}
+	n.sealForUser(user, name, buf[:entry.size])
+	if err := n.storeWrite(entry.slot, buf); err != nil {
+		return err
+	}
+	n.directory[name] = entry
+	n.respInvalidate(name)
+	return n.flushStore()
+}
+
+// flushStore is Put's durability barrier: under the default
+// write-through policy every operation's store lines are sealed to DRAM
+// before it returns; under WriteBack they stay resident and dirty (the
+// serving-tier policy), written back by eviction pressure or Sync.
+func (n *Node) flushStore() error {
+	if n.cfg.WriteBack && n.oram == nil {
+		return nil
+	}
+	return n.sh.FlushRegion("store")
+}
+
+// Sync writes back all dirty store lines — the explicit durability
+// barrier of a WriteBack node (a no-op burden under write-through).
+func (n *Node) Sync() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sh.FlushRegion("store")
 }
 
 // Put stores a file for a user: application → tls engine set → user-key
@@ -300,37 +542,37 @@ func (n *Node) stageTLSOut(size int) ([]byte, error) {
 func (n *Node) Put(user, name string, payload []byte) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, ok := n.userKeys[user]; !ok {
-		return fmt.Errorf("sdp: user %q has no provisioned key", user)
+	entry, err := n.reserve(user, name, len(payload))
+	if err != nil {
+		return err
 	}
-	if len(payload) > n.cfg.SlotBytes {
-		return fmt.Errorf("sdp: file of %d bytes exceeds slot size %d", len(payload), n.cfg.SlotBytes)
-	}
-	entry, ok := n.directory[name]
-	if !ok {
-		if n.nextSlot >= n.cfg.Slots {
-			return errors.New("sdp: node full")
-		}
-		entry = fileEntry{slot: n.nextSlot}
-		n.nextSlot++
-	}
-	entry.size = len(payload)
-	entry.user = user
 	if err := n.stageTLSIn(payload); err != nil {
 		return err
 	}
-	// Node logic: pull through the tls engine set (decrypt), apply the
-	// per-user GDPR layer, push through the store engine set (encrypt).
-	buf := make([]byte, alignUp(len(payload), n.cfg.AuthBlock))
-	if _, err := n.sh.ReadBurst(tlsBase, buf); err != nil {
+	return n.putStaged(user, name, entry)
+}
+
+// PutSealed stores a file whose tls image the Data Owner already sealed
+// (see TLSSession.Seal): ct and tags are the payload extent, padded to
+// whole auth blocks. This is the serving-tier entry point — the
+// Data-Owner-side cryptography happens on the client's goroutine, outside
+// the node's serialised section.
+func (n *Node) PutSealed(user, name string, size int, ct, tags []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	entry, err := n.reserve(user, name, size)
+	if err != nil {
 		return err
 	}
-	n.sealForUser(user, name, buf[:len(payload)])
-	if err := n.storeWrite(entry.slot, buf); err != nil {
+	aligned := alignUp(size, n.cfg.AuthBlock)
+	if len(ct) != aligned || len(tags) != aligned/n.cfg.AuthBlock*shield.TagSize {
+		return fmt.Errorf("sdp: sealed image is %d+%d bytes, want %d+%d", len(ct), len(tags),
+			aligned, aligned/n.cfg.AuthBlock*shield.TagSize)
+	}
+	if err := n.dmaTLSIn(ct, tags); err != nil {
 		return err
 	}
-	n.directory[name] = entry
-	return n.sh.Flush()
+	return n.putStaged(user, name, entry)
 }
 
 // storeWrite places a slot image (whole auth blocks) in the store region:
@@ -369,52 +611,113 @@ func (n *Node) storeRead(slot int, buf []byte) error {
 	return nil
 }
 
+// getStaged is the node half of a Get: locate the file, pull it from the
+// store engine set, strip the GDPR layer, and push the plaintext into the
+// tls engine set ready for staging out. Caller holds mu.
+func (n *Node) getStaged(user, name string) (fileEntry, error) {
+	if _, ok := n.userKeys[user]; !ok {
+		return fileEntry{}, fmt.Errorf("sdp: user %q has no provisioned key", user)
+	}
+	entry, ok := n.directory[name]
+	if !ok {
+		return fileEntry{}, fmt.Errorf("sdp: file %q not found", name)
+	}
+	if entry.user != user {
+		return fileEntry{}, fmt.Errorf("sdp: user %q may not access %q (GDPR policy)", user, name)
+	}
+	buf := n.stage(alignUp(entry.size, n.cfg.AuthBlock))
+	if err := n.storeRead(entry.slot, buf); err != nil {
+		return fileEntry{}, err
+	}
+	n.sealForUser(user, name, buf[:entry.size]) // CTR layer is an involution
+	if _, err := n.sh.WriteBurst(tlsBase, buf); err != nil {
+		return fileEntry{}, err
+	}
+	return entry, nil
+}
+
 // Get retrieves a file for a user and returns the plaintext as the
 // application's TLS endpoint would see it.
 func (n *Node) Get(user, name string) ([]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, ok := n.userKeys[user]; !ok {
-		return nil, fmt.Errorf("sdp: user %q has no provisioned key", user)
-	}
-	entry, ok := n.directory[name]
-	if !ok {
-		return nil, fmt.Errorf("sdp: file %q not found", name)
-	}
-	if entry.user != user {
-		return nil, fmt.Errorf("sdp: user %q may not access %q (GDPR policy)", user, name)
-	}
-	buf := make([]byte, alignUp(entry.size, n.cfg.AuthBlock))
-	if err := n.storeRead(entry.slot, buf); err != nil {
-		return nil, err
-	}
-	n.sealForUser(user, name, buf[:entry.size]) // CTR layer is an involution
-	if _, err := n.sh.WriteBurst(tlsBase, buf); err != nil {
+	entry, err := n.getStaged(user, name)
+	if err != nil {
 		return nil, err
 	}
 	return n.stageTLSOut(entry.size)
 }
 
+// GetSealed retrieves a file as its sealed tls image, DMAed into the
+// caller's ct/tags buffers (each at least the region's aligned capacity;
+// the returned size selects the extent — alignUp(size) ciphertext bytes
+// and the matching tags). The Data Owner opens it with TLSSession.Open on
+// the client's goroutine, outside the node's serialised section.
+func (n *Node) GetSealed(user, name string, ct, tags []byte) (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.respCache != nil {
+		// The cache is consulted only after the same authorisation the
+		// full path enforces: provisioned user, existing file, owner match.
+		if _, ok := n.userKeys[user]; ok {
+			if e, ok := n.directory[name]; ok && e.user == user {
+				if size, ok := n.respServe(name, ct, tags); ok {
+					return size, nil
+				}
+				n.respMiss++
+			}
+		}
+	}
+	entry, err := n.getStaged(user, name)
+	if err != nil {
+		return 0, err
+	}
+	aligned := alignUp(entry.size, n.cfg.AuthBlock)
+	k := aligned / n.cfg.AuthBlock
+	if len(ct) < aligned || len(tags) < k*shield.TagSize {
+		return 0, fmt.Errorf("sdp: sealed-image buffers hold %d+%d bytes, need %d+%d",
+			len(ct), len(tags), aligned, k*shield.TagSize)
+	}
+	if err := n.stageTLSOutSealed(aligned, ct[:aligned], tags[:k*shield.TagSize]); err != nil {
+		return 0, err
+	}
+	n.respInsert(name, entry.size, ct[:aligned], tags[:k*shield.TagSize])
+	return entry.size, nil
+}
+
 // sealForUser applies the per-user GDPR encryption layer in place: an
 // AES-CTR pass under the user's key with a per-file IV. CTR is an
-// involution, so the same call encrypts and decrypts.
+// involution, so the same call encrypts and decrypts. The derived cipher
+// is cached per (user, file) and runs on the selected hardware engine.
 func (n *Node) sealForUser(user, name string, data []byte) {
-	key := kdf.Derive([]byte("sdp/user-file"), n.userKeys[user], []byte(name), 16)
-	cipher, err := aesx.NewCipher(key)
-	if err != nil {
-		panic("sdp: derived key invalid: " + err.Error())
+	uc, ok := n.userCiphers[user+"\x00"+name]
+	if !ok {
+		key := kdf.Derive([]byte("sdp/user-file"), n.userKeys[user], []byte(name), 16)
+		block, err := engine.NewAES(key, engine.Auto)
+		if err != nil {
+			panic("sdp: derived key invalid: " + err.Error())
+		}
+		uc = &userCipher{block: block}
+		h := kdf.Derive([]byte("sdp/file-iv"), []byte(name), nil, aesx.IVSize)
+		copy(uc.iv[:], h)
+		if len(n.userCiphers) >= maxUserCiphers {
+			clear(n.userCiphers)
+		}
+		n.userCiphers[user+"\x00"+name] = uc
 	}
-	var iv [aesx.IVSize]byte
-	h := kdf.Derive([]byte("sdp/file-iv"), []byte(name), nil, aesx.IVSize)
-	copy(iv[:], h)
-	aesx.CTR(cipher, iv, data, data)
+	n.ctr.XORKeyStream(uc.block, uc.iv, data, data)
 }
 
 // Report exposes the Shield's cycle accounting.
 func (n *Node) Report() shield.Report { return n.sh.Report() }
 
 // ResetStats clears the measurement window.
-func (n *Node) ResetStats() { n.sh.ResetStats() }
+func (n *Node) ResetStats() {
+	n.sh.ResetStats()
+	n.mu.Lock()
+	n.respHits, n.respMiss, n.respCycles = 0, 0, 0
+	n.mu.Unlock()
+}
 
 // Shield exposes the underlying shield (controller provisioning, tests).
 func (n *Node) Shield() *shield.Shield { return n.sh }

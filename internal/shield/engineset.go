@@ -1,7 +1,9 @@
 package shield
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"slices"
 	"sync"
 
@@ -11,6 +13,7 @@ import (
 	"shef/internal/crypto/sha256x"
 	"shef/internal/mem"
 	"shef/internal/perf"
+	"shef/internal/profiling"
 )
 
 // engineSet is the runtime of one configured memory region: the AES engine
@@ -96,6 +99,14 @@ type engineSet struct {
 	// fanWG establish the happens-before edges, so workers never touch
 	// mu. scratches holds one sealScratch per span slot — dedicated, not
 	// pooled, for the same GC-drain reason as win.
+	// inlineFan, sampled at provisioning time, records that the process
+	// has a single P: fanning spans out to pool workers then buys no
+	// parallelism, only a context switch per span, so runJob runs every
+	// span inline instead. The simulated cycle accounting is unaffected —
+	// poolCycles models the hardware engine pool analytically, not the
+	// host's execution strategy.
+	inlineFan bool
+
 	jobOpen       bool
 	jobN, jobSpan int
 	jobSlots      [streamWindowChunks]int
@@ -150,15 +161,16 @@ func newEngineSet(cfg RegionConfig, regionID uint32, dek []byte, tagBase uint64,
 		return nil, err
 	}
 	s := &engineSet{
-		cfg:      cfg,
-		regionID: regionID,
-		params:   params,
-		seal:     seal,
-		tagBase:  tagBase,
-		port:     port,
-		lines:    make(map[int]*bufLine),
-		capacity: cfg.bufferLines(),
-		seqNext:  -1,
+		cfg:       cfg,
+		regionID:  regionID,
+		params:    params,
+		seal:      seal,
+		tagBase:   tagBase,
+		port:      port,
+		lines:     make(map[int]*bufLine),
+		capacity:  cfg.bufferLines(),
+		seqNext:   -1,
+		inlineFan: runtime.GOMAXPROCS(0) == 1,
 	}
 	s.lruRoot.prev = &s.lruRoot
 	s.lruRoot.next = &s.lruRoot
@@ -652,7 +664,10 @@ func (s *engineSet) runJob(open bool, n int) {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
+	if workers <= 1 || s.inlineFan {
+		// One worker — or one P, where handing spans to pool goroutines
+		// costs a context switch each and overlaps nothing. Run the whole
+		// job on the caller's goroutine (span width n covers every item).
 		s.jobSpan = n
 		s.spanWork(0)
 		s.clearJob(n)
@@ -721,10 +736,17 @@ func (s *engineSet) ensureWorkers(k int) {
 }
 
 func (s *engineSet) fanWorker() {
-	for w := range s.fanTasks {
-		s.spanWork(w)
-		s.fanWG.Done()
-	}
+	// The pool goroutine carries the engine set's profiling label for its
+	// whole life, so a CPU profile attributes crypto fan-out work to the
+	// region (store vs tls) it ran for. Workers spawned while no harness
+	// is active run unlabelled at zero cost; harness runs build their
+	// clusters (and hence workers) after Start, so sweeps are labelled.
+	profiling.Do(context.Background(), func() {
+		for w := range s.fanTasks {
+			s.spanWork(w)
+			s.fanWG.Done()
+		}
+	}, "engine-set", s.cfg.Name)
 }
 
 // stopWorkers retires the worker pool (no job may be in flight).
@@ -888,6 +910,21 @@ func (s *engineSet) markPreloaded() {
 	defer s.mu.Unlock()
 	for i := range s.initialized {
 		s.initialized[i] = true
+	}
+}
+
+// markPreloadedChunks sets the valid bits of chunks [from, to) only, so a
+// partial DMA leaves virgin chunks serving zeros (and never trusting
+// uninitialised DRAM). It also drops resident clean lines in the range:
+// their plaintext predates the DMA.
+func (s *engineSet) markPreloadedChunks(from, to int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := from; c < to; c++ {
+		s.initialized[c] = true
+		if ln, ok := s.lines[c]; ok && !ln.dirty {
+			s.dropLine(ln)
+		}
 	}
 }
 

@@ -301,6 +301,105 @@ func (s *Shield) MarkPreloaded(region string) error {
 	return fmt.Errorf("shield: unknown region %q", region)
 }
 
+// MarkPreloadedRange is MarkPreloaded for a partial DMA: only the chunks
+// overlapping bytes [off, off+n) of the region become valid, and any
+// resident clean lines for those chunks are dropped (their plaintext
+// predates the DMA). Serving paths that stage variable-sized payloads
+// through a large scratch region use it so one request's DMA does not
+// vouch for — or invalidate — the rest of the region.
+func (s *Shield) MarkPreloadedRange(region string, off, n uint64) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set, err := s.namedSet(region)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	if off+n > set.cfg.Size {
+		return fmt.Errorf("shield: preload range [%#x,+%d) outside region %q", off, n, region)
+	}
+	cs := uint64(set.cfg.ChunkSize)
+	set.markPreloadedChunks(int(off/cs), int((off+n+cs-1)/cs))
+	return nil
+}
+
+// RegionSealer is the Data Owner's persistent chunk-cryptography handle
+// for one region: the same key schedule, MAC state, and scratch reused
+// across calls, instead of SealRegionData/OpenRegionData's
+// rebuild-per-call. A RegionSealer is NOT safe for concurrent use — it
+// owns one scratch; callers wanting parallelism hold one per goroutine.
+type RegionSealer struct {
+	s  *sealer
+	sc *sealScratch
+}
+
+// NewRegionSealer builds a persistent sealer for a region. cfg and
+// regionID must match the Shield-side region (see Layout for the
+// region's ID and chunk geometry).
+func NewRegionSealer(cfg RegionConfig, regionID uint32, dek []byte) (*RegionSealer, error) {
+	s, err := newSealer(cfg, regionID, dek, engine.Auto)
+	if err != nil {
+		return nil, err
+	}
+	return &RegionSealer{s: s, sc: s.newScratch()}, nil
+}
+
+// ChunkSize returns the region's chunk size in bytes.
+func (rs *RegionSealer) ChunkSize() int { return rs.s.cfg.ChunkSize }
+
+// SealChunk encrypts plain (exactly one chunk) into ct and writes the
+// TagSize-byte tag, at the given write epoch, allocating nothing.
+func (rs *RegionSealer) SealChunk(chunk int, counter uint32, ct, tag, plain []byte) {
+	rs.s.sealChunkWith(rs.sc, ct, tag, chunk, counter, plain)
+}
+
+// OpenChunk verifies ct (exactly one chunk) against tag and decrypts it
+// into dst, at the given write epoch, allocating nothing.
+func (rs *RegionSealer) OpenChunk(chunk int, counter uint32, dst, ct, tag []byte) error {
+	return rs.s.openChunkWith(rs.sc, dst, chunk, counter, ct, tag)
+}
+
+// SealRange seals plain — whose length must be a whole number of chunks
+// — as chunks [chunk0, chunk0+k) at epoch counter, appending ciphertext
+// and tags into ct and tags (chunk i's tag at i*TagSize).
+func (rs *RegionSealer) SealRange(chunk0 int, counter uint32, ct, tags, plain []byte) error {
+	cs := rs.s.cfg.ChunkSize
+	if len(plain)%cs != 0 || len(plain) == 0 {
+		return fmt.Errorf("shield: seal range of %d bytes is not whole %d-byte chunks", len(plain), cs)
+	}
+	k := len(plain) / cs
+	if len(ct) < len(plain) || len(tags) < k*TagSize {
+		return errors.New("shield: seal range output buffers too short")
+	}
+	for i := 0; i < k; i++ {
+		rs.s.sealChunkWith(rs.sc, ct[i*cs:(i+1)*cs], tags[i*TagSize:(i+1)*TagSize],
+			chunk0+i, counter, plain[i*cs:(i+1)*cs])
+	}
+	return nil
+}
+
+// OpenRange verifies and decrypts chunks [chunk0, chunk0+k) at epoch
+// counter from ct/tags into dst (k = len(dst)/ChunkSize).
+func (rs *RegionSealer) OpenRange(chunk0 int, counter uint32, dst, ct, tags []byte) error {
+	cs := rs.s.cfg.ChunkSize
+	if len(dst)%cs != 0 || len(dst) == 0 {
+		return fmt.Errorf("shield: open range of %d bytes is not whole %d-byte chunks", len(dst), cs)
+	}
+	k := len(dst) / cs
+	if len(ct) < len(dst) || len(tags) < k*TagSize {
+		return errors.New("shield: open range input buffers too short")
+	}
+	for i := 0; i < k; i++ {
+		if err := rs.s.openChunkWith(rs.sc, dst[i*cs:(i+1)*cs], chunk0+i, counter,
+			ct[i*cs:(i+1)*cs], tags[i*TagSize:(i+1)*TagSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // CounterSnapshot exports a region's freshness counters, authenticated
 // under the session's register MAC key so the untrusted host cannot forge
 // them in transit to the Data Owner.

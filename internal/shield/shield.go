@@ -251,6 +251,50 @@ func (s *Shield) InvalidateClean() {
 	}
 }
 
+// namedSet routes a region name to its engine set. Callers hold s.mu.
+func (s *Shield) namedSet(region string) (*engineSet, error) {
+	if !s.provisioned {
+		return nil, errors.New("shield: not provisioned")
+	}
+	for _, set := range s.sets {
+		if set.cfg.Name == region {
+			return set, nil
+		}
+	}
+	return nil, fmt.Errorf("shield: unknown region %q", region)
+}
+
+// FlushRegion writes back the dirty buffer lines of one region only.
+// Serving paths that stage traffic through a scratch region (the SDP
+// tls window) use it so a staging flush does not pay a fan-out over —
+// or disturb the write-back schedule of — every other engine set.
+func (s *Shield) FlushRegion(region string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set, err := s.namedSet(region)
+	if err != nil {
+		return err
+	}
+	return set.flush()
+}
+
+// InvalidateCleanRegion drops the clean buffer lines of one region only,
+// leaving every other region's residency intact. A host DMA that
+// overwrites one region's ciphertext must invalidate that region's
+// lines, but dropping the whole Shield's buffers (InvalidateClean)
+// would needlessly evict hot lines of unrelated regions — exactly the
+// aggregate on-chip residency a fleet of shards is supposed to build.
+func (s *Shield) InvalidateCleanRegion(region string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set, err := s.namedSet(region)
+	if err != nil {
+		return err
+	}
+	set.invalidateClean()
+	return nil
+}
+
 // RegionStats is the per-engine-set activity report.
 type RegionStats struct {
 	Name    string
