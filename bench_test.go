@@ -243,6 +243,30 @@ func BenchmarkClusterThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterDegraded measures the replicated serving fleet's
+// throughput healthy and with one of four shards crashed — the
+// resilience counterpart of the scaling sweep. The gated headline is
+// real-degraded-retain-x (degraded/healthy, absolute floor 0.25 in
+// benchtab -check): a single-node failure must leave a serving cluster,
+// not a dead one. real-degraded-ops/sec gates against the baseline with
+// the real-family budget so the degraded rate never silently collapses.
+func BenchmarkClusterDegraded(b *testing.B) {
+	var row experiments.DegradedRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = experiments.DegradedThroughput(b, scale(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("shards=%d replicas=%d workers=%d  healthy %9.0f ops/sec  degraded %9.0f ops/sec  retain %.2fx",
+		row.Shards, row.Replicas, row.Workers, row.HealthyOpsPerSec, row.DegradedOpsPerSec, row.RetainX)
+	b.Logf("degraded window: %d quorum (degraded) writes, %d fallback reads; %d anti-entropy repairs after restart",
+		row.DegradedWrites, row.FallbackReads, row.Repairs)
+	b.ReportMetric(row.DegradedOpsPerSec, "real-degraded-ops/sec")
+	b.ReportMetric(row.RetainX, "real-degraded-retain-x")
+}
+
 // BenchmarkClusterGoroutines sweeps offered load over a fixed four-shard
 // fleet: ops/sec vs client goroutine count.
 func BenchmarkClusterGoroutines(b *testing.B) {

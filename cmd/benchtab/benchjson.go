@@ -146,35 +146,51 @@ func realMetric(name string) bool {
 	return strings.HasPrefix(name, "real-")
 }
 
-// scaleFloorMetric and scaleFloor are the absolute gate on the cluster
-// scaling win: real ops/sec must grow at least 2x from one shard to
-// eight, baseline or no baseline.
-const (
-	scaleFloorMetric = "real-cluster-scale-x"
-	scaleFloor       = 2.0
-)
+// floorGate is one absolute metric floor: a gate that holds baseline or
+// no baseline, because the metric is host-relative (both ends of the
+// ratio run on the same machine) and protects a headline claim.
+type floorGate struct {
+	metric string
+	floor  float64
+	what   string // what failing the floor means, for the regression line
+}
 
-// checkScaleFloor applies the absolute scaling gate to the PR run. The
-// metric's absence is a failure: a run that stopped measuring fleet
-// scaling must not pass the gate that exists to protect it.
-func checkScaleFloor(pr *BenchDoc) (regressions, report []string) {
-	found := false
-	for _, e := range pr.Benchmarks {
-		v, ok := e.Metrics[scaleFloorMetric]
-		if !ok {
-			continue
+// floorGates: real-cluster-scale-x is the scaling headline (8-shard real
+// ops/sec must stay ≥ 2x the 1-shard rate); real-degraded-retain-x is
+// the resilience headline (a replicated cluster with one shard crashed
+// must retain ≥ 25% of its healthy throughput — degraded, not dead).
+var floorGates = []floorGate{
+	{"real-cluster-scale-x", 2.0, "real cluster throughput no longer scales with shards"},
+	{"real-degraded-retain-x", 0.25, "single-node-failure throughput collapsed — degraded mode is not serving"},
+}
+
+// regenHint is the remediation line for a missing gated metric.
+const regenHint = "regenerate the PR document with `go test -bench . -benchmem ./... | benchtab -json > BENCH_pr.json`"
+
+// checkFloors applies the absolute floors to the PR run. A floor
+// metric's absence is a failure — a run that stopped measuring a
+// headline must not pass the gate that exists to protect it — and the
+// regression line carries the regeneration hint.
+func checkFloors(pr *BenchDoc) (regressions, report []string) {
+	for _, g := range floorGates {
+		found := false
+		for _, e := range pr.Benchmarks {
+			v, ok := e.Metrics[g.metric]
+			if !ok {
+				continue
+			}
+			found = true
+			if v < g.floor {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %s = %.2f, floor %.2f — %s", e.key(), g.metric, v, g.floor, g.what))
+			} else {
+				report = append(report, fmt.Sprintf("%s %s: %.2f (floor %.2f)", e.Name, g.metric, v, g.floor))
+			}
 		}
-		found = true
-		if v < scaleFloor {
+		if !found {
 			regressions = append(regressions, fmt.Sprintf(
-				"%s: %s = %.2f, floor %.1f — real cluster throughput no longer scales with shards", e.key(), scaleFloorMetric, v, scaleFloor))
-		} else {
-			report = append(report, fmt.Sprintf("%s %s: %.2f (floor %.1f)", e.Name, scaleFloorMetric, v, scaleFloor))
+				"%s missing from PR run — the benchmark did not report it; %s", g.metric, regenHint))
 		}
-	}
-	if !found {
-		regressions = append(regressions, fmt.Sprintf(
-			"%s missing from PR run — the cluster scaling benchmark did not report it", scaleFloorMetric))
 	}
 	return regressions, report
 }
@@ -294,17 +310,17 @@ func runCheck(baselinePath, prPath string, threshold, realThreshold float64, w i
 	regressions, report, newMetrics := checkRegression(baseline, pr, threshold, realThreshold)
 	allocRegressions, allocReport := checkAllocs(pr)
 	regressions = append(regressions, allocRegressions...)
-	scaleRegressions, scaleReport := checkScaleFloor(pr)
-	regressions = append(regressions, scaleRegressions...)
-	fmt.Fprintf(w, "benchtab -check: %d gated metrics vs %s (sim budget %.0f%%, real budget %.0f%%), %d zero-alloc gates, scaling floor %.1fx\n",
-		len(report), baselinePath, threshold*100, realThreshold*100, len(allocReport), scaleFloor)
+	floorRegressions, floorReport := checkFloors(pr)
+	regressions = append(regressions, floorRegressions...)
+	fmt.Fprintf(w, "benchtab -check: %d gated metrics vs %s (sim budget %.0f%%, real budget %.0f%%), %d zero-alloc gates, %d absolute floors\n",
+		len(report), baselinePath, threshold*100, realThreshold*100, len(allocReport), len(floorGates))
 	for _, line := range report {
 		fmt.Fprintln(w, "  ", line)
 	}
 	for _, line := range allocReport {
 		fmt.Fprintln(w, "  ", line)
 	}
-	for _, line := range scaleReport {
+	for _, line := range floorReport {
 		fmt.Fprintln(w, "  ", line)
 	}
 	if len(newMetrics) > 0 {

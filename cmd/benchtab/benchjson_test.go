@@ -184,24 +184,37 @@ func TestCheckRealFamilyBudget(t *testing.T) {
 	}
 }
 
-func TestCheckScaleFloor(t *testing.T) {
-	// Healthy scaling passes and is reported.
+func TestCheckFloors(t *testing.T) {
+	// Healthy scaling and degraded retention pass and are reported.
 	pr := &BenchDoc{Benchmarks: []BenchEntry{
 		{Name: "BenchmarkClusterThroughput", Metrics: map[string]float64{"real-cluster-scale-x": 5.4}},
+		{Name: "BenchmarkClusterDegraded", Metrics: map[string]float64{"real-degraded-retain-x": 0.8}},
 	}}
-	regs, report := checkScaleFloor(pr)
-	if len(regs) != 0 || len(report) != 1 {
-		t.Fatalf("healthy scaling: regs=%v report=%v", regs, report)
+	regs, report := checkFloors(pr)
+	if len(regs) != 0 || len(report) != 2 {
+		t.Fatalf("healthy floors: regs=%v report=%v", regs, report)
 	}
 	// Flat scaling fails absolutely, baseline or not.
 	pr.Benchmarks[0].Metrics["real-cluster-scale-x"] = 1.3
-	if regs, _ := checkScaleFloor(pr); len(regs) != 1 || !strings.Contains(regs[0], "floor") {
+	if regs, _ := checkFloors(pr); len(regs) != 1 || !strings.Contains(regs[0], "floor") {
 		t.Fatalf("flat scaling not flagged: %v", regs)
 	}
-	// And so does not measuring it at all.
+	// Collapsed degraded-mode throughput fails the same way.
+	pr.Benchmarks[0].Metrics["real-cluster-scale-x"] = 5.4
+	pr.Benchmarks[1].Metrics["real-degraded-retain-x"] = 0.05
+	if regs, _ := checkFloors(pr); len(regs) != 1 || !strings.Contains(regs[0], "real-degraded-retain-x") {
+		t.Fatalf("collapsed degraded throughput not flagged: %v", regs)
+	}
+	// Not measuring a floor metric fails too — with the remediation hint
+	// telling the operator how to regenerate the PR document.
+	pr.Benchmarks[1].Metrics["real-degraded-retain-x"] = 0.8
 	delete(pr.Benchmarks[0].Metrics, "real-cluster-scale-x")
-	if regs, _ := checkScaleFloor(pr); len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+	regs, _ = checkFloors(pr)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
 		t.Fatalf("unmeasured scaling not flagged: %v", regs)
+	}
+	if !strings.Contains(regs[0], "-json") {
+		t.Fatalf("missing-floor regression lacks the regenerate hint: %v", regs)
 	}
 }
 

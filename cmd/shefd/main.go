@@ -39,6 +39,9 @@ func main() {
 	variant := flag.String("variant", "128/16x", "shield engine variant (128/4x, 128/16x, 256/4x, 256/16x, +pmac suffix)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	debugAddr := flag.String("debug", "", "serve net/http/pprof and /debug/stats on this address (off when empty)")
+	maxSessions := flag.Int("max-sessions", 0, "admission control: max concurrent owner sessions (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "admission control: connections allowed to wait for a session slot before shedding")
+	retryAfter := flag.Duration("retry-after", 100*time.Millisecond, "backoff hint sent with shed (busy) responses")
 	flag.Parse()
 
 	v, err := parseVariant(*variant)
@@ -58,8 +61,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("shefd: %v", err)
 	}
-	srv := hostapp.NewVendorServer(vendor, ln)
+	srv := hostapp.NewVendorServerWith(vendor, ln, hostapp.ServerConfig{
+		MaxSessions: *maxSessions,
+		MaxQueue:    *maxQueue,
+		RetryAfter:  *retryAfter,
+	})
 	fmt.Printf("shefd: serving product %q on %s\n", product, srv.Addr())
+	if *maxSessions > 0 {
+		fmt.Printf("shefd: admission control: %d session(s), queue %d, retry-after %s\n", *maxSessions, *maxQueue, *retryAfter)
+	}
 	fmt.Printf("shefd: designs available in this build: %v\n", accel.Designs())
 	fmt.Printf("shefd: %s\n", engine.Select())
 
@@ -94,7 +104,7 @@ func main() {
 		}
 	}
 	st := srv.Stats()
-	fmt.Printf("shefd: served %d session(s), %d failed\n", st.Served, st.Failed)
+	fmt.Printf("shefd: served %d session(s), %d failed, %d shed\n", st.Served, st.Failed, st.Shed)
 }
 
 // startDebug stands up the opt-in observability listener. An empty addr —

@@ -1,9 +1,11 @@
 package attest
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/big"
+	"time"
 
 	"shef/internal/bitstream"
 	"shef/internal/boot"
@@ -11,6 +13,11 @@ import (
 	"shef/internal/crypto/rsax"
 	"shef/internal/crypto/schnorr"
 )
+
+// ErrBusy is returned by the owner-side helpers when the vendor shed the
+// connection under load. The wrapped error carries the server's
+// retry-after hint; callers should back off at least that long.
+var ErrBusy = errors.New("attest: vendor busy")
 
 func bigFromBytes(b []byte) *big.Int { return new(big.Int).SetBytes(b) }
 
@@ -41,13 +48,38 @@ type OwnerRequest struct {
 
 // OwnerResponse returns the request outcome.
 type OwnerResponse struct {
-	OK            bool                 `json:"ok"`
-	Error         string               `json:"error,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Busy marks an admission-control shed: the server refused the
+	// session before reading the request. RetryAfterMS is the server's
+	// backoff hint.
+	Busy          bool                 `json:"busy,omitempty"`
+	RetryAfterMS  int64                `json:"retry_after_ms,omitempty"`
 	ShieldPub     []byte               `json:"shield_pub,omitempty"`
 	BitstreamHash []byte               `json:"bitstream_hash,omitempty"`
 	DeviceSerial  string               `json:"device_serial,omitempty"`
 	KernelHash    []byte               `json:"kernel_hash,omitempty"`
 	Bitstream     *bitstream.Encrypted `json:"bitstream,omitempty"`
+}
+
+// WriteBusy sends the admission-control shed response on a connection the
+// server is about to close: a terminal "come back later" that owner-side
+// helpers surface as ErrBusy. It is written before any request is read —
+// shedding must not cost the server a protocol round-trip.
+func WriteBusy(w io.Writer, retryAfter time.Duration) error {
+	return writeMsg(w, OwnerResponse{
+		Busy:         true,
+		Error:        "vendor busy",
+		RetryAfterMS: retryAfter.Milliseconds(),
+	})
+}
+
+// busyError maps a shed response to ErrBusy (nil for anything else).
+func busyError(resp *OwnerResponse) error {
+	if !resp.Busy {
+		return nil
+	}
+	return fmt.Errorf("%w: retry after %dms", ErrBusy, resp.RetryAfterMS)
 }
 
 // HandleOwner serves one Data Owner request on conn. The owner connection
@@ -120,6 +152,9 @@ func ProvisionViaHost(vendorConn io.ReadWriter, product string, group *modp.Grou
 		}
 		return nil, nil, nil, err
 	}
+	if err := busyError(&resp); err != nil {
+		return &resp, nil, nil, err
+	}
 	if !resp.OK {
 		return &resp, nil, nil, fmt.Errorf("attest: vendor refused provisioning: %s", resp.Error)
 	}
@@ -140,6 +175,9 @@ func FetchBitstream(vendorConn io.ReadWriter, product string) (*bitstream.Encryp
 	}
 	var resp OwnerResponse
 	if err := readMsg(vendorConn, &resp); err != nil {
+		return nil, err
+	}
+	if err := busyError(&resp); err != nil {
 		return nil, err
 	}
 	if !resp.OK {
@@ -165,6 +203,9 @@ func RegisterDevice(vendorConn io.ReadWriter, serial string, pub *rsax.PublicKey
 	}
 	var resp OwnerResponse
 	if err := readMsg(vendorConn, &resp); err != nil {
+		return err
+	}
+	if err := busyError(&resp); err != nil {
 		return err
 	}
 	if !resp.OK {

@@ -1,0 +1,54 @@
+package faultinject
+
+import "io"
+
+// faultRW interposes the active plan on a transport: each Read/Write
+// consults its own site ("<target>.read" / "<target>.write"), so rules
+// can fail, stall, or corrupt either direction independently.
+type faultRW struct {
+	rw          io.ReadWriter
+	rsite, wsit string
+	shard       int
+}
+
+// WrapRW interposes fault injection on a byte stream (the attest wire
+// transport). Rules target "<target>.read" and "<target>.write". With no
+// plan active the wrapper forwards with one atomic load per call; callers
+// that care about the disabled path should gate on Enabled() and skip the
+// wrap entirely.
+func WrapRW(rw io.ReadWriter, target string, shard int) io.ReadWriter {
+	return &faultRW{rw: rw, rsite: target + ".read", wsit: target + ".write", shard: shard}
+}
+
+func (f *faultRW) Read(p []byte) (int, error) {
+	if Enabled() {
+		res := Check(f.rsite, f.shard)
+		if res.Err != nil {
+			return 0, res.Err
+		}
+		n, err := f.rw.Read(p)
+		if res.Corrupt && n > 0 {
+			CorruptBytes(p[:n], res.CorruptSeed)
+		}
+		return n, err
+	}
+	return f.rw.Read(p)
+}
+
+func (f *faultRW) Write(p []byte) (int, error) {
+	if Enabled() {
+		res := Check(f.wsit, f.shard)
+		if res.Err != nil {
+			return 0, res.Err
+		}
+		if res.Corrupt && len(p) > 0 {
+			// Corrupt a copy: the writer's buffer is borrowed and the
+			// io.Writer contract forbids mutating it.
+			c := make([]byte, len(p))
+			copy(c, p)
+			CorruptBytes(c, res.CorruptSeed)
+			return f.rw.Write(c)
+		}
+	}
+	return f.rw.Write(p)
+}

@@ -1,0 +1,75 @@
+package faultinject
+
+// Action is one step of a chaos schedule: what the driver should do to a
+// shard when the schedule point is reached.
+type Action int
+
+const (
+	// ActCrash kills the shard: state is lost, a later ActRestart brings
+	// up a fresh node that anti-entropy must repopulate.
+	ActCrash Action = iota
+	// ActRestart brings a crashed shard back with empty storage.
+	ActRestart
+	// ActPartition makes the shard unreachable; its state survives.
+	ActPartition
+	// ActHeal ends a partition.
+	ActHeal
+)
+
+// String names the action for logs and test output.
+func (a Action) String() string {
+	switch a {
+	case ActCrash:
+		return "crash"
+	case ActRestart:
+		return "restart"
+	case ActPartition:
+		return "partition"
+	case ActHeal:
+		return "heal"
+	}
+	return "action(?)"
+}
+
+// Event is one scheduled chaos step: at operation AtOp (of whatever
+// counter the driver polls), apply Action to Shard.
+type Event struct {
+	AtOp   uint64
+	Shard  int
+	Action Action
+}
+
+// Schedule derives a deterministic chaos schedule from a seed: episodes
+// failure/recovery pairs spread over totalOps, each targeting a
+// seed-chosen shard and alternating crash/restart with partition/heal.
+// Episodes never overlap — at most one shard is down at a time, matching
+// the single-node-failure tolerance the chaos suite asserts — and every
+// failure recovers before totalOps so end-of-run repair checks see a
+// whole cluster.
+func Schedule(seed int64, shards int, totalOps uint64, episodes int) []Event {
+	if shards <= 0 || episodes <= 0 || totalOps == 0 {
+		return nil
+	}
+	span := totalOps / uint64(episodes+1)
+	if span < 2 {
+		span = 2
+	}
+	evs := make([]Event, 0, 2*episodes)
+	x := uint64(seed) ^ 0x5eed
+	for i := 0; i < episodes; i++ {
+		x = splitmix64(x)
+		shard := int(x % uint64(shards))
+		start := span * uint64(i+1)
+		// Recover midway to the next episode so episodes never overlap.
+		end := start + span/2
+		fail, heal := ActCrash, ActRestart
+		if x&(1<<40) != 0 {
+			fail, heal = ActPartition, ActHeal
+		}
+		evs = append(evs,
+			Event{AtOp: start, Shard: shard, Action: fail},
+			Event{AtOp: end, Shard: shard, Action: heal},
+		)
+	}
+	return evs
+}

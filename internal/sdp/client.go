@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"shef/internal/faultinject"
 	"shef/internal/profiling"
 	"shef/internal/shield"
 )
@@ -120,10 +121,15 @@ type Client struct {
 }
 
 // NewClient opens a Data Owner endpoint with a TLS session to every
-// shard.
+// shard. Sessions are keyed by each shard's stable session DEK, so they
+// survive shard crashes and restarts.
 func (c *Cluster) NewClient() (*Client, error) {
-	cl := &Client{c: c, sessions: make([]*TLSSession, len(c.shards))}
-	for i, n := range c.shards {
+	cl := &Client{c: c, sessions: make([]*TLSSession, len(c.slots))}
+	for i, slot := range c.slots {
+		n := slot.node.Load()
+		if n == nil {
+			return nil, &ShardError{Shard: i, Op: "session", Err: ErrShardDown}
+		}
 		t, err := n.NewTLSSession()
 		if err != nil {
 			return nil, fmt.Errorf("sdp: shard %d session: %w", i, err)
@@ -134,8 +140,23 @@ func (c *Cluster) NewClient() (*Client, error) {
 }
 
 // Put seals the payload on the client's goroutine and stores it on the
-// file's home shard.
+// file's replica set (the home shard alone in single-copy mode). Each
+// replica gets its own seal — sessions are per-shard — so a corrupted
+// copy on one replica can never authenticate on another.
 func (cl *Client) Put(user, name string, payload []byte) error {
+	return cl.PutCtx(context.Background(), user, name, payload)
+}
+
+// PutCtx is Put with caller-controlled cancellation.
+func (cl *Client) PutCtx(ctx context.Context, user, name string, payload []byte) error {
+	if cl.c.resilient() {
+		if profiling.Enabled() {
+			return doOp("put", cl.c.ShardFor(name), func() error {
+				return cl.putResilient(ctx, user, name, payload)
+			})
+		}
+		return cl.putResilient(ctx, user, name, payload)
+	}
 	i := cl.c.ShardFor(name)
 	if profiling.Enabled() {
 		return doOp("put", i, func() error { return cl.put(i, user, name, payload) })
@@ -146,7 +167,7 @@ func (cl *Client) Put(user, name string, payload []byte) error {
 func (cl *Client) put(i int, user, name string, payload []byte) error {
 	ct, tags, err := cl.sessions[i].Seal(payload)
 	if err == nil {
-		err = cl.c.shards[i].PutSealed(user, name, len(payload), ct, tags)
+		err = cl.c.slots[i].node.Load().PutSealed(user, name, len(payload), ct, tags)
 	}
 	if err != nil {
 		cl.c.errs.Add(1)
@@ -156,11 +177,38 @@ func (cl *Client) put(i int, user, name string, payload []byte) error {
 	return nil
 }
 
+// putResilient writes through the replica machinery, re-sealing per
+// replica on that replica's session. An injected corruption fault mangles
+// the sealed image in transit — the node's tls engine set refuses it, the
+// attempt fails authenticated-closed, and the retry re-seals cleanly.
+func (cl *Client) putResilient(ctx context.Context, user, name string, payload []byte) error {
+	return cl.c.writeReplicas(ctx, user, name, func(shard int, n *Node, fi faultinject.Result) error {
+		ct, tags, err := cl.sessions[shard].Seal(payload)
+		if err != nil {
+			return reject(err)
+		}
+		if fi.Corrupt {
+			faultinject.CorruptBytes(ct, fi.CorruptSeed)
+		}
+		return n.PutSealed(user, name, len(payload), ct, tags)
+	})
+}
+
 // PutSealed stores a pre-sealed image (from Seal on the file's home
 // shard session) — the loadgen path, where one sealed request image is
-// replayed many times without resealing.
+// replayed many times without resealing. In replicated mode the image is
+// opened to recover the payload and re-sealed per replica (each shard
+// seals under its own session DEK).
 func (cl *Client) PutSealed(user, name string, size int, ct, tags []byte) error {
 	i := cl.c.ShardFor(name)
+	if cl.c.resilient() {
+		plain, err := cl.sessions[i].Open(nil, ct, tags, size)
+		if err != nil {
+			cl.c.errs.Add(1)
+			return err
+		}
+		return cl.PutCtx(context.Background(), user, name, plain)
+	}
 	if profiling.Enabled() {
 		return doOp("put", i, func() error { return cl.putSealed(i, user, name, size, ct, tags) })
 	}
@@ -168,7 +216,7 @@ func (cl *Client) PutSealed(user, name string, size int, ct, tags []byte) error 
 }
 
 func (cl *Client) putSealed(i int, user, name string, size int, ct, tags []byte) error {
-	if err := cl.c.shards[i].PutSealed(user, name, size, ct, tags); err != nil {
+	if err := cl.c.slots[i].node.Load().PutSealed(user, name, size, ct, tags); err != nil {
 		cl.c.errs.Add(1)
 		return err
 	}
@@ -182,8 +230,42 @@ func (cl *Client) Session(name string) *TLSSession {
 }
 
 // Get fetches a file, opening the sealed response on the client's
-// goroutine, and appends the payload to dst.
+// goroutine, and appends the payload to dst. In replicated mode the read
+// falls back replica by replica: a replica whose sealed response fails
+// authentication (corrupted storage or transit) is treated as a failed
+// replica and the next one serves.
 func (cl *Client) Get(user, name string, dst []byte) ([]byte, error) {
+	return cl.GetCtx(context.Background(), user, name, dst)
+}
+
+// GetCtx is Get with caller-controlled cancellation.
+func (cl *Client) GetCtx(ctx context.Context, user, name string, dst []byte) ([]byte, error) {
+	if cl.c.resilient() {
+		var out []byte
+		read := func(shard int, n *Node, fi faultinject.Result) error {
+			t := cl.sessions[shard]
+			size, err := n.GetSealed(user, name, t.ct, t.tags)
+			if err != nil {
+				return err
+			}
+			if fi.Corrupt {
+				faultinject.CorruptBytes(t.ct[:alignUp(size, t.chunk)], fi.CorruptSeed)
+			}
+			o, err := t.Open(dst, t.ct, t.tags, size)
+			if err != nil {
+				return err
+			}
+			out = o
+			return nil
+		}
+		if profiling.Enabled() {
+			err := doOp("get", cl.c.ShardFor(name), func() error {
+				return cl.c.readReplicas(ctx, name, read)
+			})
+			return out, err
+		}
+		return out, cl.c.readReplicas(ctx, name, read)
+	}
 	i := cl.c.ShardFor(name)
 	if profiling.Enabled() {
 		var out []byte
@@ -199,7 +281,7 @@ func (cl *Client) Get(user, name string, dst []byte) ([]byte, error) {
 
 func (cl *Client) get(i int, user, name string, dst []byte) ([]byte, error) {
 	t := cl.sessions[i]
-	size, err := cl.c.shards[i].GetSealed(user, name, t.ct, t.tags)
+	size, err := cl.c.slots[i].node.Load().GetSealed(user, name, t.ct, t.tags)
 	if err != nil {
 		cl.c.errs.Add(1)
 		return nil, err
@@ -213,12 +295,30 @@ func (cl *Client) get(i int, user, name string, dst []byte) ([]byte, error) {
 	return out, nil
 }
 
-// GetSealed fetches a file's sealed response into the home-shard
-// session's staging buffers without opening it — the loadgen path,
+// GetSealed fetches a file's sealed response into the serving shard's
+// session staging buffers without opening it — the loadgen path,
 // measuring server-side serving with the client-side open sampled
 // separately. Returns the payload size and the session holding the
-// sealed bytes.
+// sealed bytes (the home shard's in single-copy mode; in replicated mode
+// whichever replica served the read).
 func (cl *Client) GetSealed(user, name string) (int, *TLSSession, error) {
+	if cl.c.resilient() {
+		var size int
+		var t *TLSSession
+		err := cl.c.readReplicas(context.Background(), name, func(shard int, n *Node, fi faultinject.Result) error {
+			s := cl.sessions[shard]
+			sz, err := n.GetSealed(user, name, s.ct, s.tags)
+			if err != nil {
+				return err
+			}
+			if fi.Corrupt {
+				faultinject.CorruptBytes(s.ct[:alignUp(sz, s.chunk)], fi.CorruptSeed)
+			}
+			size, t = sz, s
+			return nil
+		})
+		return size, t, err
+	}
 	i := cl.c.ShardFor(name)
 	if profiling.Enabled() {
 		var size int
@@ -235,7 +335,7 @@ func (cl *Client) GetSealed(user, name string) (int, *TLSSession, error) {
 
 func (cl *Client) getSealed(i int, user, name string) (int, *TLSSession, error) {
 	t := cl.sessions[i]
-	size, err := cl.c.shards[i].GetSealed(user, name, t.ct, t.tags)
+	size, err := cl.c.slots[i].node.Load().GetSealed(user, name, t.ct, t.tags)
 	if err != nil {
 		cl.c.errs.Add(1)
 		return 0, nil, err

@@ -1,16 +1,19 @@
 package sdp
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"shef/internal/crypto/aesx"
 	"shef/internal/crypto/hmacx"
 	"shef/internal/crypto/kdf"
+	"shef/internal/faultinject"
 	"shef/internal/perf"
 	"shef/internal/profiling"
 )
@@ -26,7 +29,45 @@ type ClusterConfig struct {
 	Node NodeConfig
 	// Params is the per-node cycle model (zero value: LineRateParams).
 	Params perf.Params
+	// Replicas places each file on this many successor shards (home shard
+	// plus Replicas-1 followers). Writes need a majority write quorum
+	// (Replicas/2+1) to acknowledge; reads fall back replica by replica;
+	// Sync runs anti-entropy repair across the set. 0 or 1 keeps the
+	// original single-copy placement with its unchanged fast path.
+	Replicas int
+	// Retry tunes the per-replica retry loop (zero value: defaults).
+	Retry RetryPolicy
+	// OpTimeout bounds one cluster operation across its retries and
+	// replica fallbacks. It is checked between attempts (node operations
+	// are not preempted mid-flight), so a latency fault can overshoot it
+	// by one attempt. 0 means DefaultOpTimeout; negative disables.
+	OpTimeout time.Duration
 }
+
+// RetryPolicy shapes the capped exponential backoff the cluster applies
+// to retryable per-replica failures.
+type RetryPolicy struct {
+	// MaxAttempts per replica per operation (0: DefaultMaxAttempts).
+	MaxAttempts int
+	// BaseBackoff before the first retry; doubles per attempt.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling.
+	MaxBackoff time.Duration
+	// Seed drives the deterministic jitter ([d/2, d) of the capped
+	// backoff) so test runs with the same seed sleep the same schedule.
+	Seed int64
+}
+
+// Retry defaults: three shots per replica, 2ms → 20ms backoff, 2s per
+// operation. Small enough that a dead replica costs single-digit
+// milliseconds before the read falls back, large enough to ride out the
+// transient error bursts fault injection models.
+const (
+	DefaultMaxAttempts = 3
+	DefaultBaseBackoff = 2 * time.Millisecond
+	DefaultMaxBackoff  = 20 * time.Millisecond
+	DefaultOpTimeout   = 2 * time.Second
+)
 
 // Controller is the SDP Controller Node (CN). It owns the user-key
 // database and is the only party that provisions Storage Nodes: each shard
@@ -186,17 +227,57 @@ func parseKeyDB(plain []byte) (map[string][]byte, error) {
 	return keys, nil
 }
 
+// shardSlot is one shard's mount point in the cluster: the node pointer
+// (atomically swappable so crash/restart never races concurrent ops), the
+// shard's session DEK (stable across restarts so client TLS sessions
+// survive them), its failure detector, and its partition flag.
+type shardSlot struct {
+	node        atomic.Pointer[Node]
+	dek         []byte
+	partitioned atomic.Bool
+	health      healthFSM
+}
+
 // Cluster is a fleet of Storage Nodes behind one Controller Node. Put/Get
 // route by hashed file name; operations against different shards run in
 // parallel (each node serialises internally), which is where the
-// "millions of users" aggregate throughput comes from.
+// "millions of users" aggregate throughput comes from. With Replicas > 1
+// the cluster is self-healing: reads fall back across a file's replica
+// set, writes acknowledge at a majority quorum, and Sync repairs
+// divergence.
 type Cluster struct {
-	cfg    ClusterConfig
-	ctrl   *Controller
-	shards []*Node
-	deks   [][]byte
+	cfg   ClusterConfig
+	ctrl  *Controller
+	slots []*shardSlot
+
+	// rng is the deterministic jitter state for retry backoff.
+	rng atomic.Uint64
+
+	// registry maps acknowledged file names to their owning user plus the
+	// witness set — the shards that acknowledged the most recent
+	// successful write. Reads prefer witnesses (a laggard primary must
+	// not serve a stale version of an acknowledged write) and
+	// anti-entropy trusts them over a raw majority vote (after a crash, a
+	// one-fresh-vs-one-stale tie must not resolve to the stale copy).
+	// Maintained only in replicated mode (single-copy clusters have
+	// nothing to repair).
+	regMu    sync.RWMutex
+	registry map[string]fileMeta
+
+	// fileLocks serializes replicated writes and anti-entropy repair on a
+	// per-file basis (striped by name hash). Without it a repair pass can
+	// read a replica, decide it is stale, lose the race to a concurrent
+	// write that acks on that replica, and then roll the fresh bytes back
+	// — silently losing an acknowledged write.
+	fileLocks [64]sync.Mutex
 
 	puts, gets, errs atomic.Uint64
+
+	// Resilience counters: retries after transient failures, reads served
+	// by a non-primary replica, files repaired by anti-entropy, writes
+	// that failed their quorum, and writes acknowledged below full
+	// replication (the degraded-mode signal).
+	retries, fallbacks, repairs, quorumFails, degradedWrites atomic.Uint64
 }
 
 // NewCluster boots the fleet: every shard gets a fresh session DEK, is
@@ -211,30 +292,52 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Params == (perf.Params{}) {
 		cfg.Params = LineRateParams()
 	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > cfg.Shards {
+		return nil, fmt.Errorf("sdp: %d replicas need at least that many shards (have %d)", cfg.Replicas, cfg.Shards)
+	}
+	if cfg.Retry.MaxAttempts < 1 {
+		cfg.Retry.MaxAttempts = DefaultMaxAttempts
+	}
+	if cfg.Retry.BaseBackoff <= 0 {
+		cfg.Retry.BaseBackoff = DefaultBaseBackoff
+	}
+	if cfg.Retry.MaxBackoff < cfg.Retry.BaseBackoff {
+		cfg.Retry.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.OpTimeout == 0 {
+		cfg.OpTimeout = DefaultOpTimeout
+	}
 	c := &Cluster{
-		cfg:    cfg,
-		ctrl:   NewController(),
-		shards: make([]*Node, cfg.Shards),
-		deks:   make([][]byte, cfg.Shards),
+		cfg:   cfg,
+		ctrl:  NewController(),
+		slots: make([]*shardSlot, cfg.Shards),
+	}
+	c.rng.Store(uint64(cfg.Retry.Seed)*0x9e3779b97f4a7c15 + 1)
+	if cfg.Replicas > 1 {
+		c.registry = make(map[string]fileMeta)
 	}
 	errs := make([]error, cfg.Shards)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Shards; i++ {
+		c.slots[i] = &shardSlot{}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			dek := make([]byte, 32)
 			if _, err := rand.Read(dek); err != nil {
-				errs[i] = err
+				errs[i] = &ShardError{Shard: i, Op: "boot", Err: err}
 				return
 			}
 			n, err := NewNode(cfg.Node, dek, cfg.Params)
 			if err != nil {
-				errs[i] = fmt.Errorf("sdp: shard %d: %w", i, err)
+				errs[i] = &ShardError{Shard: i, Op: "boot", Err: err}
 				return
 			}
-			c.shards[i] = n
-			c.deks[i] = dek
+			c.slots[i].node.Store(n)
+			c.slots[i].dek = dek
 		}(i)
 	}
 	wg.Wait()
@@ -249,14 +352,29 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 // reprovision pushes the CN's current key database to every shard.
 func (c *Cluster) reprovision() error {
-	for i, n := range c.shards {
-		db, err := c.ctrl.sealKeyDB(i, c.deks[i])
-		if err != nil {
+	for i := range c.slots {
+		if err := c.reprovisionShard(i); err != nil {
 			return err
 		}
-		if err := n.InstallSealedUserKeys(i, db); err != nil {
-			return fmt.Errorf("sdp: shard %d: %w", i, err)
-		}
+	}
+	return nil
+}
+
+// reprovisionShard seals the CN's full current database for one shard and
+// installs it — shard bring-up, restart, and partition-heal all converge
+// through here so a recovered shard never serves with a stale key DB.
+func (c *Cluster) reprovisionShard(i int) error {
+	slot := c.slots[i]
+	n := slot.node.Load()
+	if n == nil {
+		return &ShardError{Shard: i, Op: "provision", Err: ErrShardDown}
+	}
+	db, err := c.ctrl.sealKeyDB(i, slot.dek)
+	if err != nil {
+		return &ShardError{Shard: i, Op: "provision", Err: err}
+	}
+	if err := n.InstallSealedUserKeys(i, db); err != nil {
+		return &ShardError{Shard: i, Op: "provision", Err: err}
 	}
 	return nil
 }
@@ -266,20 +384,30 @@ func (c *Cluster) reprovision() error {
 // replicated fleet-wide (the paper's CN "securely provisions a database of
 // user keys into the TEE" — here, into every TEE). Only the new user's
 // record travels: shards merge deltas, so registering N users costs
-// O(N·shards), not O(N²·shards).
+// O(N·shards), not O(N²·shards). Crashed or partitioned shards are
+// skipped — they receive the full current database when they rejoin
+// (RestartShard / HealShard reprovision). Every failure carries its shard
+// identity; failures on independent shards are joined, not truncated to
+// the first.
 func (c *Cluster) RegisterUser(user string, key []byte) error {
 	c.ctrl.RegisterUser(user, key)
 	delta := map[string][]byte{user: key}
-	for i, n := range c.shards {
-		db, err := sealKeys(i, c.deks[i], delta)
+	var errs []error
+	for i, slot := range c.slots {
+		n := slot.node.Load()
+		if n == nil || slot.partitioned.Load() {
+			continue
+		}
+		db, err := sealKeys(i, slot.dek, delta)
 		if err != nil {
-			return err
+			errs = append(errs, &ShardError{Shard: i, Op: "register", Err: err})
+			continue
 		}
 		if err := n.InstallSealedUserKeys(i, db); err != nil {
-			return fmt.Errorf("sdp: shard %d: %w", i, err)
+			errs = append(errs, &ShardError{Shard: i, Op: "register", Err: err})
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // ShardIndex is the cluster routing function in the open: FNV-1a over
@@ -295,31 +423,66 @@ func ShardIndex(name string, shards int) int {
 	return int(h % uint32(shards))
 }
 
-// ShardFor routes a file name to its shard.
+// ShardFor routes a file name to its home shard.
 func (c *Cluster) ShardFor(name string) int {
-	return ShardIndex(name, len(c.shards))
+	return ShardIndex(name, len(c.slots))
 }
 
-// Sync flushes every shard's dirty store lines — the fleet-wide
-// durability barrier of a WriteBack cluster.
+// Sync is the fleet-wide durability and convergence barrier: in
+// replicated mode it first runs anti-entropy repair over every
+// acknowledged file, then flushes every reachable shard's dirty store
+// lines. Crashed and partitioned shards are skipped (they repair at the
+// Sync after they rejoin).
 func (c *Cluster) Sync() error {
 	var errs []error
-	for i, n := range c.shards {
+	if c.cfg.Replicas > 1 {
+		if err := c.antiEntropy(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for i, slot := range c.slots {
+		n := slot.node.Load()
+		if n == nil || slot.partitioned.Load() {
+			continue
+		}
 		if err := n.Sync(); err != nil {
-			errs = append(errs, fmt.Errorf("sdp: shard %d: %w", i, err))
+			errs = append(errs, &ShardError{Shard: i, Op: "sync", Err: err})
 		}
 	}
 	return errors.Join(errs...)
 }
 
 // Shards reports the fleet size.
-func (c *Cluster) Shards() int { return len(c.shards) }
+func (c *Cluster) Shards() int { return len(c.slots) }
 
-// Node exposes one shard (tests, per-shard reports).
-func (c *Cluster) Node(i int) *Node { return c.shards[i] }
+// Node exposes one shard (tests, per-shard reports). A crashed shard is
+// nil until RestartShard brings it back.
+func (c *Cluster) Node(i int) *Node { return c.slots[i].node.Load() }
 
-// Put stores a file on its home shard.
+// resilient reports whether operations must take the replica-aware
+// retry path. Single-copy clusters with no fault plan active keep the
+// original direct path — one atomic pointer load over the old code.
+func (c *Cluster) resilient() bool {
+	return c.cfg.Replicas > 1 || faultinject.Enabled()
+}
+
+// Put stores a file on its replica set (write-quorum acknowledged) —
+// the home shard alone in single-copy mode.
 func (c *Cluster) Put(user, name string, payload []byte) error {
+	return c.PutCtx(context.Background(), user, name, payload)
+}
+
+// PutCtx is Put with caller-controlled cancellation: the context is
+// checked between retries and replica attempts.
+func (c *Cluster) PutCtx(ctx context.Context, user, name string, payload []byte) error {
+	if c.resilient() {
+		if profiling.Enabled() {
+			return doOp("put", c.ShardFor(name), func() error {
+				return c.putReplicated(ctx, user, name, payload)
+			})
+		}
+		return c.putReplicated(ctx, user, name, payload)
+	}
 	i := c.ShardFor(name)
 	if profiling.Enabled() {
 		return doOp("put", i, func() error { return c.put(i, user, name, payload) })
@@ -328,7 +491,12 @@ func (c *Cluster) Put(user, name string, payload []byte) error {
 }
 
 func (c *Cluster) put(i int, user, name string, payload []byte) error {
-	err := c.shards[i].Put(user, name, payload)
+	n := c.slots[i].node.Load()
+	if n == nil {
+		c.errs.Add(1)
+		return &ShardError{Shard: i, Op: "put", Err: ErrShardDown}
+	}
+	err := n.Put(user, name, payload)
 	if err != nil {
 		c.errs.Add(1)
 		return err
@@ -337,8 +505,35 @@ func (c *Cluster) put(i int, user, name string, payload []byte) error {
 	return nil
 }
 
-// Get fetches a file from its home shard.
+func (c *Cluster) putReplicated(ctx context.Context, user, name string, payload []byte) error {
+	return c.writeReplicas(ctx, user, name, func(_ int, n *Node, _ faultinject.Result) error {
+		return n.Put(user, name, payload)
+	})
+}
+
+// Get fetches a file, falling back replica by replica when shards are
+// down — the home shard alone in single-copy mode.
 func (c *Cluster) Get(user, name string) ([]byte, error) {
+	return c.GetCtx(context.Background(), user, name)
+}
+
+// GetCtx is Get with caller-controlled cancellation.
+func (c *Cluster) GetCtx(ctx context.Context, user, name string) ([]byte, error) {
+	if c.resilient() {
+		var data []byte
+		read := func(_ int, n *Node, _ faultinject.Result) error {
+			var err error
+			data, err = n.Get(user, name)
+			return err
+		}
+		if profiling.Enabled() {
+			err := doOp("get", c.ShardFor(name), func() error {
+				return c.readReplicas(ctx, name, read)
+			})
+			return data, err
+		}
+		return data, c.readReplicas(ctx, name, read)
+	}
 	i := c.ShardFor(name)
 	if profiling.Enabled() {
 		var data []byte
@@ -353,7 +548,12 @@ func (c *Cluster) Get(user, name string) ([]byte, error) {
 }
 
 func (c *Cluster) get(i int, user, name string) ([]byte, error) {
-	data, err := c.shards[i].Get(user, name)
+	n := c.slots[i].node.Load()
+	if n == nil {
+		c.errs.Add(1)
+		return nil, &ShardError{Shard: i, Op: "get", Err: ErrShardDown}
+	}
+	data, err := n.Get(user, name)
 	if err != nil {
 		c.errs.Add(1)
 		return nil, err
@@ -368,6 +568,19 @@ type ClusterStats struct {
 	Puts   uint64
 	Gets   uint64
 	Errors uint64
+	// Resilience counters. Retries counts per-replica retry attempts
+	// after transient failures; FallbackReads counts reads served by a
+	// non-primary replica; Repairs counts files rewritten by anti-entropy;
+	// QuorumFailures counts writes that lost their quorum; DegradedWrites
+	// counts writes acknowledged below full replication. DownShards is
+	// the crashed-or-partitioned count right now — nonzero means the
+	// cluster is serving in degraded mode.
+	Retries        uint64
+	FallbackReads  uint64
+	Repairs        uint64
+	QuorumFailures uint64
+	DegradedWrites uint64
+	DownShards     int
 	// BusyCycles is the simulated busy time summed over shards; MaxBusy is
 	// the busiest shard — the fleet analogue of the Shield's
 	// max-across-engine-sets wall-clock model.
@@ -383,12 +596,22 @@ type ClusterStats struct {
 // Stats snapshots the cluster's counters.
 func (c *Cluster) Stats() ClusterStats {
 	st := ClusterStats{
-		Shards: len(c.shards),
-		Puts:   c.puts.Load(),
-		Gets:   c.gets.Load(),
-		Errors: c.errs.Load(),
+		Shards:         len(c.slots),
+		Puts:           c.puts.Load(),
+		Gets:           c.gets.Load(),
+		Errors:         c.errs.Load(),
+		Retries:        c.retries.Load(),
+		FallbackReads:  c.fallbacks.Load(),
+		Repairs:        c.repairs.Load(),
+		QuorumFailures: c.quorumFails.Load(),
+		DegradedWrites: c.degradedWrites.Load(),
 	}
-	for _, n := range c.shards {
+	for _, slot := range c.slots {
+		n := slot.node.Load()
+		if n == nil || slot.partitioned.Load() {
+			st.DownShards++
+			continue
+		}
 		rep := n.Report()
 		var busy uint64
 		for _, r := range rep.Regions {
@@ -415,6 +638,9 @@ func (c *Cluster) Stats() ClusterStats {
 // the -debug stats endpoint (JSON field names are the wire format).
 type ShardStats struct {
 	Shard           int    `json:"shard"`
+	Health          string `json:"health"`
+	Crashed         bool   `json:"crashed,omitempty"`
+	Partitioned     bool   `json:"partitioned,omitempty"`
 	BusyCycles      uint64 `json:"busy_cycles"`
 	RespCacheHits   uint64 `json:"resp_cache_hits"`
 	RespCacheMisses uint64 `json:"resp_cache_misses"`
@@ -422,21 +648,32 @@ type ShardStats struct {
 }
 
 // PerShardStats snapshots every shard for the debug endpoint: where the
-// fleet's simulated time is going and how the sealed-response caches are
-// doing, one row per Storage Node.
+// fleet's simulated time is going, how the sealed-response caches are
+// doing, and what the failure detector thinks of each node — one row per
+// Storage Node.
 func (c *Cluster) PerShardStats() []ShardStats {
-	out := make([]ShardStats, len(c.shards))
-	for i, n := range c.shards {
+	out := make([]ShardStats, len(c.slots))
+	for i, slot := range c.slots {
+		out[i] = ShardStats{
+			Shard:       i,
+			Health:      slot.health.State().String(),
+			Partitioned: slot.partitioned.Load(),
+		}
+		n := slot.node.Load()
+		if n == nil {
+			out[i].Crashed = true
+			continue
+		}
 		rep := n.Report()
 		var busy uint64
 		for _, r := range rep.Regions {
 			busy += r.BusyCycles
 		}
 		hits, misses, cycles := n.RespCacheStats()
-		out[i] = ShardStats{
-			Shard: i, BusyCycles: busy + cycles,
-			RespCacheHits: hits, RespCacheMisses: misses, RespCacheCycles: cycles,
-		}
+		out[i].BusyCycles = busy + cycles
+		out[i].RespCacheHits = hits
+		out[i].RespCacheMisses = misses
+		out[i].RespCacheCycles = cycles
 	}
 	return out
 }
@@ -446,7 +683,14 @@ func (c *Cluster) ResetStats() {
 	c.puts.Store(0)
 	c.gets.Store(0)
 	c.errs.Store(0)
-	for _, n := range c.shards {
-		n.ResetStats()
+	c.retries.Store(0)
+	c.fallbacks.Store(0)
+	c.repairs.Store(0)
+	c.quorumFails.Store(0)
+	c.degradedWrites.Store(0)
+	for _, slot := range c.slots {
+		if n := slot.node.Load(); n != nil {
+			n.ResetStats()
+		}
 	}
 }

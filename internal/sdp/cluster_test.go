@@ -105,7 +105,7 @@ func TestSealedKeyDBRejectsSplice(t *testing.T) {
 	c := newCluster(t, 2)
 	// A database sealed for shard 0 must not install on shard 1, even if
 	// the operator relays it byte-for-byte.
-	db, err := c.ctrl.sealKeyDB(0, c.deks[0])
+	db, err := c.ctrl.sealKeyDB(0, c.slots[0].dek)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestSealedKeyDBRejectsSplice(t *testing.T) {
 		t.Fatal("shard 1 accepted a database sealed for shard 0")
 	}
 	// Bit flips are caught.
-	db2, _ := c.ctrl.sealKeyDB(0, c.deks[0])
+	db2, _ := c.ctrl.sealKeyDB(0, c.slots[0].dek)
 	db2.Ciphertext[0] ^= 1
 	if err := c.Node(0).InstallSealedUserKeys(0, db2); err == nil {
 		t.Fatal("tampered key database installed")

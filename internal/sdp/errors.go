@@ -1,0 +1,60 @@
+package sdp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed cluster errors. Callers branch with errors.Is: ErrRejected is an
+// application-level verdict (retrying cannot change it), everything else
+// is infrastructure trouble the resilience layer retries and falls back
+// across replicas for.
+var (
+	// ErrShardDown marks a replica that is crashed, partitioned, or
+	// health-gated — unreachable now, possibly back later.
+	ErrShardDown = errors.New("sdp: shard down")
+	// ErrQuorumLost is a write that could not reach its write quorum: the
+	// data may exist on a minority of replicas but is NOT acknowledged.
+	ErrQuorumLost = errors.New("sdp: write quorum lost")
+	// ErrDegraded is a read that exhausted every replica without an
+	// authoritative answer — the cluster is serving in degraded mode and
+	// this file is currently unreadable.
+	ErrDegraded = errors.New("sdp: cluster degraded")
+	// ErrRejected classifies application-level rejections (unknown user,
+	// policy violation, file not found, node full): authoritative answers,
+	// never retried, never counted against a shard's health.
+	ErrRejected = errors.New("sdp: request rejected")
+)
+
+// ShardError carries the shard identity of a failure through the cluster
+// API so operators can tell which node misbehaved. Unwrap exposes the
+// underlying cause to errors.Is/As.
+type ShardError struct {
+	Shard int
+	Op    string
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("sdp: shard %d: %s: %v", e.Shard, e.Op, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Retryable reports whether an operation error is worth retrying or
+// falling back for: anything except an application rejection (and nil).
+func Retryable(err error) bool {
+	return err != nil && !errors.Is(err, ErrRejected)
+}
+
+// rejected tags an error as an application rejection without changing its
+// message: Error() is the original text, and the multi-target Unwrap makes
+// errors.Is(err, ErrRejected) true while keeping the original chain.
+type rejected struct{ err error }
+
+func (r rejected) Error() string   { return r.err.Error() }
+func (r rejected) Unwrap() []error { return []error{r.err, ErrRejected} }
+func reject(err error) error       { return rejected{err} }
+func rejectf(format string, a ...any) error {
+	return rejected{fmt.Errorf(format, a...)}
+}

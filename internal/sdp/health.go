@@ -1,0 +1,136 @@
+package sdp
+
+import "sync"
+
+// HealthState is one shard's position in the failure-detection state
+// machine, fed by real operation outcomes (application rejections don't
+// count — a "file not found" from a perfectly healthy node is not a
+// failure).
+type HealthState int32
+
+const (
+	// Healthy: serving normally.
+	Healthy HealthState = iota
+	// Suspect: consecutive failures observed; still served, but one more
+	// streak takes it Down. A single success clears the suspicion.
+	Suspect
+	// Down: the failure detector has given up on the shard. Operations
+	// skip it without paying timeouts; every probeEvery-th request is let
+	// through as a probe so recovery is discovered without an operator.
+	Down
+	// Recovering: a probe succeeded (or an operator restarted the shard);
+	// it serves again but needs recoverAfter consecutive successes to be
+	// Healthy — one failure sends it straight back Down.
+	Recovering
+)
+
+// String names the state for stats endpoints and logs.
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	case Recovering:
+		return "recovering"
+	}
+	return "unknown"
+}
+
+// Failure-detector tuning: streaks short enough to react within one
+// retry envelope, probes frequent enough that a recovered shard rejoins
+// within a few requests.
+const (
+	suspectAfter = 2 // consecutive failures: Healthy → Suspect
+	downAfter    = 4 // consecutive failures: Suspect → Down
+	recoverAfter = 2 // consecutive successes: Recovering → Healthy
+	probeEvery   = 8 // while Down, let every Nth request through as a probe
+)
+
+// healthFSM is one shard's failure detector. All methods are safe for
+// concurrent use; the mutex guards a handful of ints so contention is
+// negligible next to the node work it gates.
+type healthFSM struct {
+	mu      sync.Mutex
+	state   HealthState
+	fails   int // consecutive failures
+	succs   int // consecutive successes while Recovering
+	skipped int // requests short-circuited since the last probe
+}
+
+// State snapshots the current state.
+func (h *healthFSM) State() HealthState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// allowOp decides whether a request may hit the shard. Down shards are
+// skipped except for the periodic probe.
+func (h *healthFSM) allowOp() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state != Down {
+		return true
+	}
+	h.skipped++
+	if h.skipped >= probeEvery {
+		h.skipped = 0
+		return true
+	}
+	return false
+}
+
+// success records a completed operation (or probe).
+func (h *healthFSM) success() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fails = 0
+	switch h.state {
+	case Suspect:
+		h.state = Healthy
+	case Down:
+		h.state = Recovering
+		h.succs = 1
+	case Recovering:
+		h.succs++
+		if h.succs >= recoverAfter {
+			h.state = Healthy
+		}
+	}
+}
+
+// failure records a failed operation (infrastructure failures only —
+// the caller filters application rejections with Retryable).
+func (h *healthFSM) failure() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.succs = 0
+	h.fails++
+	switch h.state {
+	case Healthy:
+		if h.fails >= suspectAfter {
+			h.state = Suspect
+		}
+	case Suspect:
+		if h.fails >= downAfter {
+			h.state = Down
+			h.skipped = 0
+		}
+	case Recovering:
+		h.state = Down
+		h.skipped = 0
+	}
+}
+
+// markRecovering is the operator path: a restarted or healed shard is put
+// straight into Recovering so traffic returns immediately, with the
+// recoverAfter-successes bar still to clear before it counts as Healthy.
+func (h *healthFSM) markRecovering() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.state = Recovering
+	h.fails, h.succs, h.skipped = 0, 0, 0
+}

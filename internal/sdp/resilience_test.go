@@ -1,0 +1,503 @@
+package sdp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"shef/internal/faultinject"
+)
+
+// replicatedConfig is the resilience-test geometry: 4 shards, 3-way
+// replication (write quorum 2 — tolerates one failed shard for both
+// reads and writes), write-through so every acknowledged byte is sealed
+// to DRAM before the ack, and fast retry timing so tests stay quick.
+func replicatedConfig(shards, replicas int) ClusterConfig {
+	cfg := clusterConfig(shards)
+	cfg.Replicas = replicas
+	cfg.Retry = RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Seed:        1,
+	}
+	cfg.OpTimeout = 5 * time.Second
+	return cfg
+}
+
+func newReplicatedCluster(t *testing.T, shards, replicas int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(replicatedConfig(shards, replicas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"alice", "bob"} {
+		if err := c.RegisterUser(u, []byte(u+"-key")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestReplicatedPutLandsOnAllReplicas(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 3)
+	payload := bytes.Repeat([]byte{0x5A}, 3000)
+	if err := c.Put("alice", "doc", payload); err != nil {
+		t.Fatal(err)
+	}
+	for _, shard := range c.replicaSet("doc") {
+		got, err := c.Node(shard).Get("alice", "doc")
+		if err != nil {
+			t.Fatalf("replica %d: %v", shard, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("replica %d holds divergent bytes", shard)
+		}
+	}
+	// Non-replica shards must not hold it.
+	reps := map[int]bool{}
+	for _, s := range c.replicaSet("doc") {
+		reps[s] = true
+	}
+	for i := 0; i < c.Shards(); i++ {
+		if reps[i] {
+			continue
+		}
+		if _, err := c.Node(i).Get("alice", "doc"); err == nil {
+			t.Fatalf("non-replica shard %d holds the file", i)
+		}
+	}
+}
+
+func TestReplicaSetPlacement(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 3)
+	reps := c.replicaSet("doc")
+	if len(reps) != 3 {
+		t.Fatalf("replica set size %d, want 3", len(reps))
+	}
+	home := c.ShardFor("doc")
+	for k, s := range reps {
+		if s != (home+k)%4 {
+			t.Fatalf("replica %d = shard %d, want successor %d", k, s, (home+k)%4)
+		}
+	}
+}
+
+// TestDegradedReadAfterCrash: crash the primary; reads must fall back to
+// a successor replica and stats must show it.
+func TestDegradedReadAfterCrash(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 3)
+	payload := bytes.Repeat([]byte{0x11}, 2048)
+	if err := c.Put("alice", "doc", payload); err != nil {
+		t.Fatal(err)
+	}
+	primary := c.ShardFor("doc")
+	c.CrashShard(primary)
+	got, err := c.Get("alice", "doc")
+	if err != nil {
+		t.Fatalf("degraded read failed: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("degraded read returned wrong bytes")
+	}
+	st := c.Stats()
+	if st.FallbackReads == 0 {
+		t.Fatalf("stats show no fallback reads: %+v", st)
+	}
+	if st.DownShards != 1 {
+		t.Fatalf("DownShards = %d, want 1", st.DownShards)
+	}
+}
+
+// TestDegradedWriteAtQuorum: with one of three replicas crashed, writes
+// still acknowledge (quorum 2) and are counted as degraded.
+func TestDegradedWriteAtQuorum(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 3)
+	reps := c.replicaSet("doc")
+	c.CrashShard(reps[1])
+	if err := c.Put("alice", "doc", []byte("quorum write")); err != nil {
+		t.Fatalf("write with 2/3 replicas up failed: %v", err)
+	}
+	if st := c.Stats(); st.DegradedWrites == 0 {
+		t.Fatalf("degraded write not counted: %+v", st)
+	}
+	// Both surviving replicas hold it.
+	for _, shard := range []int{reps[0], reps[2]} {
+		if _, err := c.Node(shard).Get("alice", "doc"); err != nil {
+			t.Fatalf("surviving replica %d missing acked write: %v", shard, err)
+		}
+	}
+}
+
+// TestQuorumLost: two of three replicas down kills the write quorum; the
+// caller gets the typed error.
+func TestQuorumLost(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 3)
+	reps := c.replicaSet("doc")
+	c.CrashShard(reps[0])
+	c.PartitionShard(reps[1])
+	err := c.Put("alice", "doc", []byte("doomed"))
+	if !errors.Is(err, ErrQuorumLost) {
+		t.Fatalf("err = %v, want ErrQuorumLost", err)
+	}
+	if !errors.Is(err, ErrShardDown) {
+		t.Fatalf("quorum error should carry the shard-down cause: %v", err)
+	}
+	if st := c.Stats(); st.QuorumFailures == 0 {
+		t.Fatalf("quorum failure not counted: %+v", st)
+	}
+}
+
+// TestRestartAndAntiEntropyRepair: crash a replica, keep writing, restart
+// it, Sync — the restarted replica must converge to byte-identical state.
+func TestRestartAndAntiEntropyRepair(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 3)
+	payloadA := bytes.Repeat([]byte{0xA1}, 4096)
+	if err := c.Put("alice", "doc", payloadA); err != nil {
+		t.Fatal(err)
+	}
+	reps := c.replicaSet("doc")
+	c.CrashShard(reps[1])
+	// Overwrite while the replica is dead: the survivors advance.
+	payloadB := bytes.Repeat([]byte{0xB2}, 5000)
+	if err := c.Put("alice", "doc", payloadB); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartShard(reps[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh node: file is gone until anti-entropy repairs it.
+	if _, err := c.Node(reps[1]).Get("alice", "doc"); err == nil {
+		t.Fatal("restarted shard should come back empty")
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatalf("sync/repair: %v", err)
+	}
+	got, err := c.Node(reps[1]).Get("alice", "doc")
+	if err != nil {
+		t.Fatalf("repaired replica unreadable: %v", err)
+	}
+	if !bytes.Equal(got, payloadB) {
+		t.Fatal("repair converged to the wrong version")
+	}
+	if st := c.Stats(); st.Repairs == 0 {
+		t.Fatalf("repair not counted: %+v", st)
+	}
+}
+
+// TestPartitionHeal: a partitioned shard keeps its state; after heal plus
+// Sync it serves again and converges on writes it missed.
+func TestPartitionHeal(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 3)
+	if err := c.Put("alice", "doc", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	reps := c.replicaSet("doc")
+	c.PartitionShard(reps[2])
+	if err := c.Put("alice", "doc", []byte("v2-longer")); err != nil {
+		t.Fatal(err)
+	}
+	// Register a user while the shard is unreachable: it must learn the
+	// key at heal time.
+	if err := c.RegisterUser("carol", []byte("carol-key")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.HealShard(reps[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Node(reps[2]).Get("alice", "doc")
+	if err != nil || string(got) != "v2-longer" {
+		t.Fatalf("healed replica = %q, %v; want v2-longer", got, err)
+	}
+	// The healed shard knows carol (key DB re-pushed at heal).
+	if err := c.Node(reps[2]).Put("carol", "carol-file", []byte("x")); err != nil {
+		t.Fatalf("healed shard missing late-registered user: %v", err)
+	}
+}
+
+// TestHealthFSMTransitions drives the detector through its full cycle.
+func TestHealthFSMTransitions(t *testing.T) {
+	var h healthFSM
+	if h.State() != Healthy {
+		t.Fatal("zero value should be Healthy")
+	}
+	h.failure()
+	if h.State() != Healthy {
+		t.Fatal("one failure should not suspect")
+	}
+	h.failure()
+	if h.State() != Suspect {
+		t.Fatalf("state after %d failures = %v, want Suspect", suspectAfter, h.State())
+	}
+	h.success()
+	if h.State() != Healthy {
+		t.Fatal("success in Suspect should clear to Healthy")
+	}
+	for i := 0; i < downAfter; i++ {
+		h.failure()
+	}
+	if h.State() != Down {
+		t.Fatalf("state after %d failures = %v, want Down", downAfter, h.State())
+	}
+	// Down: gated except the periodic probe.
+	allowed := 0
+	for i := 0; i < probeEvery; i++ {
+		if h.allowOp() {
+			allowed++
+		}
+	}
+	if allowed != 1 {
+		t.Fatalf("Down allowed %d/%d ops, want exactly 1 probe", allowed, probeEvery)
+	}
+	h.success()
+	if h.State() != Recovering {
+		t.Fatal("probe success should move Down → Recovering")
+	}
+	h.failure()
+	if h.State() != Down {
+		t.Fatal("failure in Recovering should fall straight back Down")
+	}
+	h.success()
+	for i := 1; i < recoverAfter; i++ {
+		h.success()
+	}
+	if h.State() != Healthy {
+		t.Fatalf("state after %d recovery successes = %v, want Healthy", recoverAfter, h.State())
+	}
+}
+
+// TestHealthGateSkipsDownShard: after a crash takes the detector Down,
+// reads stop paying for the dead primary (no per-op retry storm) and the
+// periodic probe discovers the restart without operator involvement
+// beyond RestartShard's own marking — tested here via the raw FSM path by
+// NOT using RestartShard's markRecovering.
+func TestHealthGateSkipsDownShard(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 3)
+	if err := c.Put("alice", "doc", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	primary := c.ShardFor("doc")
+	c.CrashShard(primary)
+	// Drive the detector Down with a few reads.
+	for i := 0; i < downAfter+1; i++ {
+		if _, err := c.Get("alice", "doc"); err != nil {
+			t.Fatalf("degraded read %d failed: %v", i, err)
+		}
+	}
+	if got := c.slots[primary].health.State(); got != Down {
+		t.Fatalf("primary health = %v, want Down", got)
+	}
+	retriesBefore := c.Stats().Retries
+	for i := 0; i < 8; i++ {
+		if _, err := c.Get("alice", "doc"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Gated shard: fallbacks continue but no retry budget is burned on it
+	// (ErrShardDown short-circuits the retry loop).
+	if got := c.Stats().Retries; got != retriesBefore {
+		t.Fatalf("down shard still consumed %d retries", got-retriesBefore)
+	}
+}
+
+// TestInjectedTransientErrorsAreRetried: a fault plan that fails a
+// fraction of put attempts must be absorbed by the retry loop.
+func TestInjectedTransientErrorsAreRetried(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 3)
+	faultinject.Activate(&faultinject.Plan{Seed: 11, Rules: []faultinject.Rule{
+		{Target: FaultSitePut, Shard: faultinject.AnyShard, Kind: faultinject.KindError, Prob: 0.25},
+	}})
+	defer faultinject.Deactivate()
+	for i := 0; i < 24; i++ {
+		name := fmt.Sprintf("file-%d", i)
+		if err := c.Put("alice", name, []byte("flaky fabric")); err != nil {
+			t.Fatalf("put %d not absorbed: %v", i, err)
+		}
+	}
+	if st := c.Stats(); st.Retries == 0 {
+		t.Fatalf("no retries recorded under a 25%% error plan: %+v", st)
+	}
+}
+
+// TestAppRejectionsAreNotRetried: policy violations must surface
+// immediately (no retry, no health penalty) even with replication on.
+func TestAppRejectionsAreNotRetried(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 3)
+	if err := c.Put("alice", "secret", []byte("alice's")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Get("mallory", "secret")
+	if err == nil {
+		t.Fatal("unregistered user served")
+	}
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("policy rejection not classed ErrRejected: %v", err)
+	}
+	if Retryable(err) {
+		t.Fatal("policy rejection classed retryable")
+	}
+	st := c.Stats()
+	if st.Retries != 0 {
+		t.Fatalf("policy rejection consumed retries: %+v", st)
+	}
+	for i, slot := range c.slots {
+		if got := slot.health.State(); got != Healthy {
+			t.Fatalf("shard %d health = %v after pure policy traffic", i, got)
+		}
+	}
+}
+
+// TestShardErrorIdentity: every cluster-level failure names its shard.
+func TestShardErrorIdentity(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 1)
+	primary := c.ShardFor("doc")
+	c.CrashShard(primary)
+	err := c.Put("alice", "doc", []byte("x"))
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("cluster error carries no shard identity: %v", err)
+	}
+	if se.Shard != primary {
+		t.Fatalf("shard identity = %d, want %d", se.Shard, primary)
+	}
+}
+
+// TestContextCancellation: a canceled context stops the operation with
+// the context's error.
+func TestContextCancellation(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.PutCtx(ctx, "alice", "doc", []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := c.GetCtx(ctx, "alice", "doc"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBackoffDeterministicAndCapped: the jittered schedule is a pure
+// function of the seed, grows with attempts, and respects the cap.
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	mk := func() *Cluster {
+		c := &Cluster{cfg: ClusterConfig{Retry: RetryPolicy{
+			MaxAttempts: 5, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 20 * time.Millisecond, Seed: 7,
+		}}}
+		seed := uint64(7)
+		c.rng.Store(seed*0x9e3779b97f4a7c15 + 1)
+		return c
+	}
+	a, b := mk(), mk()
+	for attempt := 0; attempt < 8; attempt++ {
+		da, db := a.backoff(attempt), b.backoff(attempt)
+		if da != db {
+			t.Fatalf("attempt %d: %v vs %v — jitter not deterministic", attempt, da, db)
+		}
+		if da > 20*time.Millisecond {
+			t.Fatalf("attempt %d: %v exceeds the cap", attempt, da)
+		}
+		if da < time.Millisecond {
+			t.Fatalf("attempt %d: %v below base/2", attempt, da)
+		}
+	}
+}
+
+// TestClientReplicatedRoundTrip: the sealed client path (per-replica
+// sessions) survives a primary crash mid-workload.
+func TestClientReplicatedRoundTrip(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 3)
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x77}, 6000)
+	if err := cl.Put("alice", "doc", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Get("alice", "doc", nil)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip before crash: %v", err)
+	}
+	c.CrashShard(c.ShardFor("doc"))
+	got, err = cl.Get("alice", "doc", nil)
+	if err != nil {
+		t.Fatalf("degraded client read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("degraded client read returned wrong bytes")
+	}
+	// Writes still land at quorum; the crashed primary is skipped.
+	if err := cl.Put("alice", "doc2", payload); err != nil {
+		t.Fatalf("degraded client write: %v", err)
+	}
+}
+
+// TestClientSessionsSurviveRestart: a restarted shard resumes the same
+// session DEK, so a client built before the crash keeps working against
+// the replacement node.
+func TestClientSessionsSurviveRestart(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 3)
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x3C}, 2048)
+	if err := cl.Put("alice", "doc", payload); err != nil {
+		t.Fatal(err)
+	}
+	primary := c.ShardFor("doc")
+	c.CrashShard(primary)
+	if err := c.RestartShard(primary); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Get("alice", "doc", nil)
+	if err != nil {
+		t.Fatalf("old client against restarted shard: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("old client read wrong bytes from restarted shard")
+	}
+}
+
+// TestCorruptedReplicaReadFallsBack: injected read-side corruption fails
+// authentication at the client session and the read falls back — the
+// corrupted bytes are never returned.
+func TestCorruptedReplicaReadFallsBack(t *testing.T) {
+	c := newReplicatedCluster(t, 4, 3)
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xEE}, 4096)
+	if err := cl.Put("alice", "doc", payload); err != nil {
+		t.Fatal(err)
+	}
+	primary := c.ShardFor("doc")
+	// Corrupt every response from the primary, in perpetuity.
+	faultinject.Activate(&faultinject.Plan{Seed: 3, Rules: []faultinject.Rule{
+		{Target: FaultSiteGet, Shard: primary, Kind: faultinject.KindCorrupt, Prob: 1},
+	}})
+	defer faultinject.Deactivate()
+	got, err := cl.Get("alice", "doc", nil)
+	if err != nil {
+		t.Fatalf("read with corrupted primary: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("corrupted bytes reached the caller")
+	}
+	if st := c.Stats(); st.FallbackReads == 0 {
+		t.Fatalf("corruption did not force a fallback: %+v", st)
+	}
+}

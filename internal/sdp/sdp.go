@@ -479,17 +479,20 @@ func (n *Node) stageTLSOut(size int) ([]byte, error) {
 
 // reserve validates a Put and allocates the file's slot entry. Caller
 // holds mu and commits with n.directory[name] = entry on success.
+// Failures are application rejections (ErrRejected): authoritative
+// verdicts the cluster's resilience layer must not retry or hold against
+// the node's health.
 func (n *Node) reserve(user, name string, size int) (fileEntry, error) {
 	if _, ok := n.userKeys[user]; !ok {
-		return fileEntry{}, fmt.Errorf("sdp: user %q has no provisioned key", user)
+		return fileEntry{}, rejectf("sdp: user %q has no provisioned key", user)
 	}
 	if size > n.cfg.SlotBytes {
-		return fileEntry{}, fmt.Errorf("sdp: file of %d bytes exceeds slot size %d", size, n.cfg.SlotBytes)
+		return fileEntry{}, rejectf("sdp: file of %d bytes exceeds slot size %d", size, n.cfg.SlotBytes)
 	}
 	entry, ok := n.directory[name]
 	if !ok {
 		if n.nextSlot >= n.cfg.Slots {
-			return fileEntry{}, errors.New("sdp: node full")
+			return fileEntry{}, reject(errors.New("sdp: node full"))
 		}
 		entry = fileEntry{slot: n.nextSlot}
 		n.nextSlot++
@@ -566,7 +569,7 @@ func (n *Node) PutSealed(user, name string, size int, ct, tags []byte) error {
 	}
 	aligned := alignUp(size, n.cfg.AuthBlock)
 	if len(ct) != aligned || len(tags) != aligned/n.cfg.AuthBlock*shield.TagSize {
-		return fmt.Errorf("sdp: sealed image is %d+%d bytes, want %d+%d", len(ct), len(tags),
+		return rejectf("sdp: sealed image is %d+%d bytes, want %d+%d", len(ct), len(tags),
 			aligned, aligned/n.cfg.AuthBlock*shield.TagSize)
 	}
 	if err := n.dmaTLSIn(ct, tags); err != nil {
@@ -616,14 +619,14 @@ func (n *Node) storeRead(slot int, buf []byte) error {
 // tls engine set ready for staging out. Caller holds mu.
 func (n *Node) getStaged(user, name string) (fileEntry, error) {
 	if _, ok := n.userKeys[user]; !ok {
-		return fileEntry{}, fmt.Errorf("sdp: user %q has no provisioned key", user)
+		return fileEntry{}, rejectf("sdp: user %q has no provisioned key", user)
 	}
 	entry, ok := n.directory[name]
 	if !ok {
-		return fileEntry{}, fmt.Errorf("sdp: file %q not found", name)
+		return fileEntry{}, rejectf("sdp: file %q not found", name)
 	}
 	if entry.user != user {
-		return fileEntry{}, fmt.Errorf("sdp: user %q may not access %q (GDPR policy)", user, name)
+		return fileEntry{}, rejectf("sdp: user %q may not access %q (GDPR policy)", user, name)
 	}
 	buf := n.stage(alignUp(entry.size, n.cfg.AuthBlock))
 	if err := n.storeRead(entry.slot, buf); err != nil {
@@ -675,7 +678,7 @@ func (n *Node) GetSealed(user, name string, ct, tags []byte) (int, error) {
 	aligned := alignUp(entry.size, n.cfg.AuthBlock)
 	k := aligned / n.cfg.AuthBlock
 	if len(ct) < aligned || len(tags) < k*shield.TagSize {
-		return 0, fmt.Errorf("sdp: sealed-image buffers hold %d+%d bytes, need %d+%d",
+		return 0, rejectf("sdp: sealed-image buffers hold %d+%d bytes, need %d+%d",
 			len(ct), len(tags), aligned, k*shield.TagSize)
 	}
 	if err := n.stageTLSOutSealed(aligned, ct[:aligned], tags[:k*shield.TagSize]); err != nil {
