@@ -37,12 +37,25 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"shef/internal/analysis"
 )
 
 // BenchDoc is the JSON document of one benchmark run.
 type BenchDoc struct {
 	GeneratedBy string       `json:"generated_by"`
+	Shefvet     *ShefvetInfo `json:"shefvet,omitempty"`
 	Benchmarks  []BenchEntry `json:"benchmarks"`
+}
+
+// ShefvetInfo records, in the document header, which static-analysis
+// suite the producing tree was checked with: benchmark numbers are only
+// comparable when both trees satisfied the same invariants (zero-alloc
+// hot paths, deterministic walk order), so the gate's identity travels
+// with the artifact.
+type ShefvetInfo struct {
+	Version   string   `json:"version"`
+	Analyzers []string `json:"analyzers"`
 }
 
 // BenchEntry is one benchmark's parsed result line.
@@ -56,7 +69,10 @@ type BenchEntry struct {
 // parseBenchOutput converts `go test -bench` text into a BenchDoc. Lines
 // it does not recognise (logs, PASS/ok, goos headers) are skipped.
 func parseBenchOutput(r io.Reader) (*BenchDoc, error) {
-	doc := &BenchDoc{GeneratedBy: "benchtab -json"}
+	doc := &BenchDoc{
+		GeneratedBy: "benchtab -json",
+		Shefvet:     &ShefvetInfo{Version: analysis.Version, Analyzers: analysis.Names()},
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	pkg := ""
@@ -306,6 +322,12 @@ func runCheck(baselinePath, prPath string, threshold, realThreshold float64, w i
 	if err != nil {
 		fmt.Fprintf(w, "benchtab -check: %v\n", err)
 		return 2
+	}
+	fmt.Fprintf(w, "benchtab -check: running under %s (%s)\n",
+		analysis.Version, strings.Join(analysis.Names(), ", "))
+	if pr.Shefvet != nil {
+		fmt.Fprintf(w, "benchtab -check: PR document produced under %s (%s)\n",
+			pr.Shefvet.Version, strings.Join(pr.Shefvet.Analyzers, ", "))
 	}
 	regressions, report, newMetrics := checkRegression(baseline, pr, threshold, realThreshold)
 	allocRegressions, allocReport := checkAllocs(pr)

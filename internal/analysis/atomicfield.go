@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces the DESIGN.md §5 atomics rule: once any access to
+// a struct field goes through sync/atomic functions, every access must.
+// A mixed regime — atomic.AddUint64 on the write side, a plain read in a
+// stats snapshot — is a data race the -race detector only catches under
+// a lucky schedule, and a torn read the memory model never promises to
+// rule out. (Fields of the typed atomic.X wrappers are immune by
+// construction: the type system already forbids plain access, which is
+// why the repo prefers them; this analyzer catches the function-style
+// remainder and any future backsliding.)
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must never be read or written plainly",
+	Run:  runAtomicField,
+}
+
+// atomicOpPrefixes are the sync/atomic function families that take the
+// address of the value they operate on as their first argument.
+var atomicOpPrefixes = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"}
+
+func isAtomicOp(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, p := range atomicOpPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicField(pass *Pass) {
+	files := pass.prodFiles()
+
+	// Pass 1: collect every struct field whose address feeds a
+	// sync/atomic operation.
+	atomicFields := make(map[*types.Var]bool)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicOp(pass.calleeFunc(call)) || len(call.Args) == 0 {
+				return true
+			}
+			if v := addressedField(pass, call.Args[0]); v != nil {
+				atomicFields[v] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: flag every other use of those fields that is not itself
+	// an operand of a sync/atomic call.
+	for _, f := range files {
+		withAncestors(f, func(n ast.Node, ancestors []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v := selectedField(pass, sel)
+			if v == nil || !atomicFields[v] {
+				return true
+			}
+			if underAtomicCall(pass, ancestors) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed with sync/atomic elsewhere; this plain access races (use atomic.Load/Store or the typed atomic wrappers)",
+				v.Name())
+			return true
+		})
+	}
+}
+
+// addressedField resolves &x.f (possibly through parens/indexing) to the
+// struct field f, or nil.
+func addressedField(pass *Pass, e ast.Expr) *types.Var {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op.String() != "&" {
+		return nil
+	}
+	inner := ast.Unparen(u.X)
+	if idx, ok := inner.(*ast.IndexExpr); ok {
+		inner = ast.Unparen(idx.X)
+	}
+	sel, ok := inner.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return selectedField(pass, sel)
+}
+
+// selectedField resolves a selector to the struct field it names, or nil
+// for methods, package selectors, and locals.
+func selectedField(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	if v, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// underAtomicCall reports whether some enclosing expression is an
+// argument list of a sync/atomic call (the legitimate access form).
+func underAtomicCall(pass *Pass, ancestors []ast.Node) bool {
+	for i := len(ancestors) - 1; i >= 0; i-- {
+		if call, ok := ancestors[i].(*ast.CallExpr); ok && isAtomicOp(pass.calleeFunc(call)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// DetOrder enforces the DESIGN.md §4 determinism contract: functions
+// reachable from a //shef:deterministic root — flush, eviction, ORAM
+// Access, witness repair — must not let scheduler or map-iteration
+// nondeterminism leak into their observable order. The property is
+// spot-checked dynamically by TestFlushDeterministic and
+// TestORAMDeterministic, but those only see the seeds they run; this
+// check covers every path, every time.
+//
+// Flagged inside the reachable set:
+//   - `range` over a map (iteration order is randomized). Collect-then-
+//     sort sites carry //shef:ignore with the reason "sorted before use".
+//   - `select` with two or more ready communication cases (the runtime
+//     picks uniformly at random).
+//   - goroutine closures appending to variables captured from the
+//     enclosing function (completion order decides element order).
+//
+// Reachability is the static intra-package call graph; calls through
+// function values and interfaces are invisible, so determinism roots
+// annotate the concrete entry points.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc:  "no map ranges, multi-ready selects, or goroutine-ordered appends under //shef:deterministic roots",
+	Run:  runDetOrder,
+}
+
+func runDetOrder(pass *Pass) {
+	funcs := pass.packageFuncs()
+	var roots []string
+	for key, fn := range funcs {
+		if funcHasMark(fn, MarkDeterministic) {
+			roots = append(roots, key)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	reach := reachable(roots, pass.callGraph(funcs))
+	for key, fn := range funcs {
+		if reach[key] {
+			checkDetFunc(pass, fn)
+		}
+	}
+}
+
+func checkDetFunc(pass *Pass, fn *ast.FuncDecl) {
+	withAncestors(fn.Body, func(n ast.Node, ancestors []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMapType(pass.Info.TypeOf(n.X)) {
+				pass.Reportf(n.Pos(),
+					"%s: range over a map in a deterministic path; iteration order is randomized (collect and sort, or //shef:ignore with why order cannot matter)",
+					fn.Name.Name)
+			}
+		case *ast.SelectStmt:
+			comms := 0
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					comms++
+				}
+			}
+			if comms >= 2 {
+				pass.Reportf(n.Pos(),
+					"%s: select with %d communication cases in a deterministic path; the runtime picks ready cases at random",
+					fn.Name.Name, comms)
+			}
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				checkGoroutineAppends(pass, fn, lit)
+			}
+		}
+		return true
+	})
+}
+
+// checkGoroutineAppends flags `x = append(x, ...)` inside a spawned
+// closure when x is declared outside it: the goroutines' completion
+// order, not the program order, decides the slice's element order.
+func checkGoroutineAppends(pass *Pass, fn *ast.FuncDecl, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return true // nested closures inspected via their own go stmts
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		hasAppend := false
+		for _, rhs := range assign.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+					hasAppend = true
+				}
+			}
+		}
+		if !hasAppend {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				obj = pass.Info.Defs[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+				pass.Reportf(assign.Pos(),
+					"%s: goroutine appends to %s captured from the enclosing function; completion order decides element order",
+					fn.Name.Name, id.Name)
+			}
+		}
+		return true
+	})
+}

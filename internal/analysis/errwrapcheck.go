@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ErrWrapCheck enforces typed-error discipline at the sdp and oram
+// package boundaries: errors these packages return are classified by
+// callers with errors.Is against the exported sentinels (ErrShardDown,
+// ErrQuorumLost, ErrRejected, ErrGeometry, ...), so a raw errors.New or
+// a fmt.Errorf without %w inside a function body creates an error no
+// caller can classify — it silently falls out of the retry/fallback and
+// health-accounting logic.
+//
+// Allowed forms:
+//   - package-level `var ErrX = errors.New(...)`: the sentinel
+//     definitions themselves;
+//   - fmt.Errorf with a %w verb: wraps its cause;
+//   - raw constructors passed directly to a same-package function
+//     (reject(...), rejectf(...)): the package's own typed-error
+//     constructors do the wrapping;
+//   - fmt.Errorf with a non-literal format string (the constructor
+//     helpers' pass-through; the helper's callers are still checked).
+var ErrWrapCheck = &Analyzer{
+	Name: "errwrapcheck",
+	Doc:  "errors crossing the sdp/oram boundaries must wrap the typed sentinels",
+	Run:  runErrWrapCheck,
+}
+
+// errwrapPackages names the packages under typed-error discipline.
+var errwrapPackages = map[string]bool{"sdp": true, "oram": true}
+
+func runErrWrapCheck(pass *Pass) {
+	if !errwrapPackages[pass.Pkg.Name()] {
+		return
+	}
+	for _, f := range pass.prodFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			withAncestors(fn.Body, func(n ast.Node, ancestors []ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				bad, what := rawErrorCtor(pass, call)
+				if !bad || wrappedByLocalCtor(pass, ancestors) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s: %s crosses the %s boundary unclassified; wrap a typed sentinel (fmt.Errorf(\"...: %%w\", Err...)) or build it through the package's error constructors",
+					fn.Name.Name, what, pass.Pkg.Name())
+				return true
+			})
+		}
+	}
+}
+
+// rawErrorCtor reports errors.New calls and fmt.Errorf calls whose
+// literal format string has no %w verb.
+func rawErrorCtor(pass *Pass, call *ast.CallExpr) (bad bool, what string) {
+	fn := pass.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false, ""
+	}
+	switch {
+	case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+		return true, "errors.New"
+	case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+		if len(call.Args) == 0 {
+			return false, ""
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok {
+			return false, "" // non-literal format: a pass-through helper
+		}
+		if strings.Contains(lit.Value, "%w") {
+			return false, ""
+		}
+		return true, "fmt.Errorf without %w"
+	}
+	return false, ""
+}
+
+// wrappedByLocalCtor reports whether the raw constructor is a direct
+// argument of a same-package call — the package's own typed-error
+// constructors (reject, rejectf, typed wrappers) are where wrapping is
+// supposed to happen.
+func wrappedByLocalCtor(pass *Pass, ancestors []ast.Node) bool {
+	for i := len(ancestors) - 1; i >= 0; i-- {
+		call, ok := ancestors[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		callee := pass.calleeFunc(call)
+		if callee != nil && callee.Pkg() == pass.Pkg {
+			return true
+		}
+	}
+	return false
+}

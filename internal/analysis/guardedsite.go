@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// GuardedSite enforces the instrumentation-switchboard rule from
+// DESIGN.md §7/§9: every profiling.Do/Region and faultinject.Check/
+// WrapRW call site must sit behind the corresponding Enabled() branch,
+// so the disabled cost of the entire observability and fault-injection
+// layer stays one atomic load and a predicted branch. An unguarded site
+// is a silent hot-path tax: arguments (closures, label slices) are
+// evaluated and allocated before the callee can decide nothing is
+// active.
+//
+// Two forms are accepted:
+//   - lexically guarded: the call is inside an if statement whose
+//     condition mentions the same package's Enabled();
+//   - a //shef:guarded helper: a function marked //shef:guarded may call
+//     the instrumentation directly, and the analyzer instead checks that
+//     every same-package call of the helper is itself guarded.
+var GuardedSite = &Analyzer{
+	Name: "guardedsite",
+	Doc:  "profiling/faultinject sites must sit behind the matching Enabled() branch",
+	Run:  runGuardedSite,
+}
+
+// guardedFuncs maps instrumentation package name -> function names that
+// need an Enabled() guard at (or above) the call site.
+var guardedFuncs = map[string]map[string]bool{
+	"profiling":   {"Do": true, "Region": true},
+	"faultinject": {"Check": true, "WrapRW": true},
+}
+
+func runGuardedSite(pass *Pass) {
+	// The packages' //shef:guarded helpers, by declKey, with the set of
+	// instrumentation packages they front.
+	helpers := make(map[string]map[string]bool)
+	funcs := pass.packageFuncs()
+	for key, fn := range funcs {
+		if !funcHasMark(fn, MarkGuarded) {
+			continue
+		}
+		pkgs := make(map[string]bool)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if pkg, name := pass.calleePkgFunc(call); guardedFuncs[pkg][name] {
+					pkgs[pkg] = true
+				}
+			}
+			return true
+		})
+		helpers[key] = pkgs
+	}
+
+	for key, fn := range funcs {
+		inGuardedHelper := helpers[key] != nil
+		withAncestors(fn.Body, func(n ast.Node, ancestors []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Direct instrumentation sites.
+			if pkg, name := pass.calleePkgFunc(call); guardedFuncs[pkg][name] {
+				if inGuardedHelper || underEnabledIf(pass, ancestors, pkg) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s: %s.%s call site is not behind %s.Enabled(); the disabled path pays its argument evaluation (mark the wrapper //shef:guarded or add the branch)",
+					fn.Name.Name, pkg, name, pkg)
+				return true
+			}
+			// Calls of //shef:guarded helpers must themselves be guarded.
+			callee := pass.calleeFunc(call)
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			pkgs, isHelper := helpers[funcKey(callee)]
+			if !isHelper || inGuardedHelper {
+				return true
+			}
+			for pkg := range pkgs {
+				if !underEnabledIf(pass, ancestors, pkg) {
+					pass.Reportf(call.Pos(),
+						"%s: call of //shef:guarded helper %s is not behind %s.Enabled()",
+						fn.Name.Name, callee.Name(), pkg)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// underEnabledIf reports whether some enclosing if statement's condition
+// contains a call to <pkg>.Enabled().
+func underEnabledIf(pass *Pass, ancestors []ast.Node, pkg string) bool {
+	for _, anc := range ancestors {
+		ifStmt, ok := anc.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		found := false
+		ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if p, name := pass.calleePkgFunc(call); p == pkg && name == "Enabled" {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	cold  uint64
+	lanes [4]uint64
+}
+
+func (c *counters) bump(i int) {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.lanes[i], 1)
+}
+
+// snapshot reads a field the write side touches atomically: a race.
+func (c *counters) snapshot() uint64 {
+	return c.hits // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+// store writes a field the other side loads atomically: same race.
+func (c *counters) reset() {
+	c.hits = 0 // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+// lane hits the striped-array form of the same mistake.
+func (c *counters) lane(i int) uint64 {
+	return c.lanes[i] // want `field lanes is accessed with sync/atomic elsewhere`
+}
+
+// coldTouch is fine: cold is never accessed atomically anywhere.
+func (c *counters) coldTouch() uint64 {
+	c.cold++
+	return c.cold
+}
+
+// atomicRead is the legitimate access form.
+func (c *counters) atomicRead() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}

@@ -1,0 +1,104 @@
+package detorder
+
+import (
+	"sort"
+	"sync"
+)
+
+type table struct {
+	rows map[string]int
+	out  []string
+}
+
+// Flush is a determinism root: its observable output order is part of
+// the contract.
+//
+//shef:deterministic
+func (t *table) Flush() []string {
+	t.out = t.out[:0]
+	for name := range t.rows { // want `Flush: range over a map in a deterministic path`
+		t.out = append(t.out, name)
+	}
+	t.gather()
+	return t.out
+}
+
+// gather is reachable from Flush, so it is checked too; the collect-
+// then-sort idiom carries the suppression with its reason.
+func (t *table) gather() []string {
+	names := make([]string, 0, len(t.rows))
+	//shef:ignore keys are collected then sorted before any ordered use
+	for name := range t.rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+//shef:deterministic
+func drain(a, b chan int) int {
+	select { // want `drain: select with 2 communication cases in a deterministic path`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// tryRecv is fine: one communication case plus default never races two
+// ready channels against each other.
+//
+//shef:deterministic
+func tryRecv(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+//shef:deterministic
+func scatter(inputs []int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for _, v := range inputs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out = append(out, v*2) // want `scatter: goroutine appends to out captured from the enclosing function`
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// gatherInto is fine: the append target is indexed per goroutine, and
+// local appends inside the closure stay inside it.
+//
+//shef:deterministic
+func gatherInto(inputs []int) []int {
+	out := make([]int, len(inputs))
+	var wg sync.WaitGroup
+	for i, v := range inputs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []int
+			local = append(local, v*2)
+			out[i] = local[0]
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// unrooted is not reachable from any //shef:deterministic root: map
+// ranges are fine here.
+func unrooted(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

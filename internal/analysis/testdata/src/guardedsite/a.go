@@ -1,0 +1,68 @@
+package guardedsite
+
+import (
+	"context"
+
+	"guardedsite/faultinject"
+	"guardedsite/profiling"
+)
+
+func work() {}
+
+func unguardedDo(ctx context.Context) {
+	profiling.Do(ctx, work, "sdp", "seal") // want `unguardedDo: profiling\.Do call site is not behind profiling\.Enabled\(\)`
+}
+
+func unguardedRegion() {
+	done := profiling.Region("cluster", "open") // want `unguardedRegion: profiling\.Region call site is not behind profiling\.Enabled\(\)`
+	done()
+}
+
+func unguardedCheck() error {
+	return faultinject.Check("sdp.read") // want `unguardedCheck: faultinject\.Check call site is not behind faultinject\.Enabled\(\)`
+}
+
+func guardedDo(ctx context.Context) {
+	if profiling.Enabled() {
+		profiling.Do(ctx, work, "sdp", "seal")
+	}
+}
+
+func guardedCompound(ctx context.Context, deep bool) error {
+	if deep && faultinject.Enabled() {
+		if err := faultinject.Check("sdp.read"); err != nil {
+			return err
+		}
+		return faultinject.WrapRW("sdp.write", func() error { return nil })
+	}
+	return nil
+}
+
+// wrongGuard gates a faultinject site on the *profiling* switch: the
+// wrong switchboard is no guard at all.
+func wrongGuard() error {
+	if profiling.Enabled() {
+		return faultinject.Check("sdp.read") // want `wrongGuard: faultinject\.Check call site is not behind faultinject\.Enabled\(\)`
+	}
+	return nil
+}
+
+// doOp fronts the per-op profiling span; every caller gates it on
+// profiling.Enabled(), which is what the annotation promises.
+//
+//shef:guarded
+func doOp(ctx context.Context, name string) {
+	done := profiling.Region("cluster", name)
+	defer done()
+	profiling.Do(ctx, work, "cluster", name)
+}
+
+func callsHelperGuarded(ctx context.Context) {
+	if profiling.Enabled() {
+		doOp(ctx, "seal")
+	}
+}
+
+func callsHelperUnguarded(ctx context.Context) {
+	doOp(ctx, "open") // want `callsHelperUnguarded: call of //shef:guarded helper doOp is not behind profiling\.Enabled\(\)`
+}

@@ -1,0 +1,11 @@
+// Package faultinject is a fixture stand-in for the repo's
+// internal/faultinject switchboard.
+package faultinject
+
+var on bool
+
+func Enabled() bool { return on }
+
+func Check(site string) error { return nil }
+
+func WrapRW(site string, op func() error) error { return op() }

@@ -1,0 +1,14 @@
+// Package profiling is a fixture stand-in for the repo's
+// internal/profiling switchboard; the analyzer matches instrumentation
+// packages by name, so this local model exercises the same rules.
+package profiling
+
+import "context"
+
+var enabled bool
+
+func Enabled() bool { return enabled }
+
+func Do(ctx context.Context, fn func(), labels ...string) { fn() }
+
+func Region(labels ...string) func() { return func() {} }

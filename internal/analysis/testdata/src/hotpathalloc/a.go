@@ -1,0 +1,68 @@
+package hotpathalloc
+
+import "fmt"
+
+type state struct {
+	buf [64]byte
+	n   int
+}
+
+type coldErr struct{ n int }
+
+func (e *coldErr) Error() string { return "bad state" }
+
+type sink interface{ Put(int) }
+
+func work(s *state)    {}
+func release(s *state) {}
+func consume(w sink, v any) {
+	_ = v
+}
+
+//shef:hotpath
+func hotBad(s *state, w sink, name string) {
+	go work(s)            // want `hotBad: go statement in a hot path`
+	defer release(s)      // want `hotBad: defer in a hot path allocates`
+	f := func() { s.n++ } // want `hotBad: closure captures outer variables`
+	f()
+	_ = []int{1, 2}            // want `hotBad: slice literal allocates`
+	_ = map[string]int{"x": 1} // want `hotBad: map literal allocates`
+	p := &state{n: 1}          // want `hotBad: &composite literal escapes to the heap`
+	_ = p
+	q := new(state) // want `hotBad: new allocates`
+	_ = q
+	b := make([]byte, 8) // want `hotBad: make allocates`
+	_ = b
+	_ = any(s.n)      // want `hotBad: conversion to interface`
+	c := []byte(name) // want `hotBad: string<->\[\]byte conversion copies`
+	_ = c
+	_ = fmt.Sprintf("%d", s.n) // want `hotBad: fmt call allocates`
+	consume(w, s.n)            // want `hotBad: concrete int boxed into interface`
+}
+
+//shef:hotpath
+func hotGood(s *state, w sink) int {
+	// Value struct literals, arithmetic, array indexing, non-capturing
+	// closures, pointer/constant interface arguments: all allocation-free.
+	v := state{n: s.n}
+	v.n += int(s.buf[0])
+	double := func(x int) int { return x * 2 }
+	consume(w, 42) // constants are interned, not boxed at runtime
+	consume(w, s)  // pointers fit the iface data word
+	return double(v.n)
+}
+
+//shef:hotpath
+func hotColdBranch(s *state) error {
+	if s.n < 0 {
+		return &coldErr{n: s.n} //shef:ignore cold validation branch, never taken per-op
+	}
+	return nil
+}
+
+// notHot is unmarked: the same constructs are fine outside a hot path.
+func notHot(s *state) []byte {
+	defer release(s)
+	out := make([]byte, 0, s.n)
+	return append(out, s.buf[:]...)
+}

@@ -1,0 +1,138 @@
+package lockorder
+
+// The fixture models the repo's documented hierarchy with three ranked
+// classes (see lockRanks in lockorder.go):
+//
+//	Cluster.mu (10) → Cluster.file (20) → Node.mu (30)
+
+import "sync"
+
+type Node struct {
+	mu    sync.Mutex
+	state int
+}
+
+type Cluster struct {
+	mu    sync.RWMutex
+	file  [4]sync.Mutex
+	nodes []*Node
+}
+
+// goodOrder follows the documented outer→inner order, striped locks
+// included.
+func (c *Cluster) goodOrder(i int) {
+	c.mu.Lock()
+	c.file[i].Lock()
+	c.nodes[0].mu.Lock()
+	c.nodes[0].mu.Unlock()
+	c.file[i].Unlock()
+	c.mu.Unlock()
+}
+
+// goodRead uses the read side of the outer lock; same order, same rules.
+func (c *Cluster) goodRead(n *Node) {
+	c.mu.RLock()
+	n.mu.Lock()
+	n.state++
+	n.mu.Unlock()
+	c.mu.RUnlock()
+}
+
+// badDirect acquires the outer cluster lock while holding a node lock.
+func (c *Cluster) badDirect(n *Node) {
+	n.mu.Lock()
+	c.mu.Lock() // want `badDirect: acquires lockorder\.Cluster\.mu \(rank 10\) while holding lockorder\.Node\.mu \(rank 30\)`
+	c.mu.Unlock()
+	n.mu.Unlock()
+}
+
+// badStripe acquires a striped file lock while holding a node lock.
+func (c *Cluster) badStripe(n *Node, i int) {
+	n.mu.Lock()
+	c.file[i].Lock() // want `badStripe: acquires lockorder\.Cluster\.file \(rank 20\) while holding lockorder\.Node\.mu \(rank 30\)`
+	c.file[i].Unlock()
+	n.mu.Unlock()
+}
+
+// adminLock is a helper whose (transitive) summary acquires Cluster.mu.
+func (c *Cluster) adminLock() {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// badViaCall holds a node lock and calls a helper that acquires the
+// outer lock: the inversion is indirect but just as real.
+func (c *Cluster) badViaCall(n *Node) {
+	n.mu.Lock()
+	c.adminLock() // want `badViaCall: calls adminLock which acquires lockorder\.Cluster\.mu \(rank 10\) while holding lockorder\.Node\.mu \(rank 30\)`
+	n.mu.Unlock()
+}
+
+// reLock double-acquires the same class: self-deadlock on a Mutex.
+func (c *Cluster) reLock() {
+	c.mu.Lock()
+	c.mu.Lock() // want `reLock: acquires lockorder\.Cluster\.mu \(rank 10\) while holding lockorder\.Cluster\.mu \(rank 10\)`
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// lockNode is an inner-lock helper.
+func lockNode(n *Node) {
+	n.mu.Lock()
+	n.state++
+	n.mu.Unlock()
+}
+
+// goodViaCall holds the outer lock and calls into the inner helper:
+// exactly the documented order.
+func (c *Cluster) goodViaCall(n *Node) {
+	c.mu.Lock()
+	lockNode(n)
+	c.mu.Unlock()
+}
+
+// sequential releases before re-acquiring: never holds two at once.
+func (c *Cluster) sequential(n *Node) {
+	n.mu.Lock()
+	n.state++
+	n.mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// fileLock is a lock getter: it hands out a pointer to a classified
+// striped lock, so locals assigned from it carry the Cluster.file class.
+func (c *Cluster) fileLock(i int) *sync.Mutex {
+	return &c.file[i%len(c.file)]
+}
+
+// goodGetter acquires through the getter in documented order.
+func (c *Cluster) goodGetter(n *Node, i int) {
+	mu := c.fileLock(i)
+	mu.Lock()
+	n.mu.Lock()
+	n.mu.Unlock()
+	mu.Unlock()
+}
+
+// badGetter holds a node lock and acquires the striped file lock
+// through the getter-derived local: same inversion as badStripe.
+func (c *Cluster) badGetter(n *Node, i int) {
+	n.mu.Lock()
+	mu := c.fileLock(i)
+	mu.Lock() // want `badGetter: acquires lockorder\.Cluster\.file \(rank 20\) while holding lockorder\.Node\.mu \(rank 30\)`
+	mu.Unlock()
+	n.mu.Unlock()
+}
+
+// unclassified locks (not in the rank table) are ignored entirely.
+type scratch struct {
+	mu sync.Mutex
+}
+
+func (s *scratch) local(c *Cluster) {
+	s.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	s.mu.Unlock()
+}

@@ -163,15 +163,20 @@ func (s *VendorServer) serveConn(conn net.Conn, onError func(error)) {
 	// lifetimes. Sessions are connection-rate, not op-rate, so the
 	// label formatting is off the hot path.
 	var err error
-	profiling.Do(context.Background(), func() {
-		profiling.Region(context.Background(), "hostapp.session", func() {
-			var rw io.ReadWriter = conn
-			if faultinject.Enabled() {
-				rw = faultinject.WrapRW(conn, "attest.conn", int(sess.ID))
-			}
-			err = s.vendor.HandleOwner(rw)
-		})
-	}, "subsystem", "hostapp", "session", strconv.FormatUint(sess.ID, 10))
+	serve := func() {
+		var rw io.ReadWriter = conn
+		if faultinject.Enabled() {
+			rw = faultinject.WrapRW(conn, "attest.conn", int(sess.ID))
+		}
+		err = s.vendor.HandleOwner(rw)
+	}
+	if profiling.Enabled() {
+		profiling.Do(context.Background(), func() {
+			profiling.Region(context.Background(), "hostapp.session", serve)
+		}, "subsystem", "hostapp", "session", strconv.FormatUint(sess.ID, 10))
+	} else {
+		serve()
+	}
 	if err != nil {
 		s.failed.Add(1)
 		if onError != nil {

@@ -224,16 +224,16 @@ func NewWithConfig(port axi.MemoryPort, cfg Config) (*ORAM, error) {
 // geometry fails in New instead of wrapping bucket addresses at runtime.
 func (cfg Config) geometry() (levels, stride int, footprint uint64, err error) {
 	if cfg.Blocks < 2 {
-		return 0, 0, 0, errors.New("oram: need at least 2 blocks")
+		return 0, 0, 0, fmt.Errorf("oram: need at least 2 blocks: %w", ErrGeometry)
 	}
 	if cfg.BlockSize <= 0 || cfg.BlockSize%8 != 0 {
-		return 0, 0, 0, fmt.Errorf("oram: block size %d must be a positive multiple of 8", cfg.BlockSize)
+		return 0, 0, 0, fmt.Errorf("oram: block size %d must be a positive multiple of 8: %w", cfg.BlockSize, ErrGeometry)
 	}
 	if cfg.ChunkAlign < 0 {
-		return 0, 0, 0, fmt.Errorf("oram: negative chunk alignment %d", cfg.ChunkAlign)
+		return 0, 0, 0, fmt.Errorf("oram: negative chunk alignment %d: %w", cfg.ChunkAlign, ErrGeometry)
 	}
 	if cfg.ChunkAlign > 0 && cfg.Base%uint64(cfg.ChunkAlign) != 0 {
-		return 0, 0, 0, fmt.Errorf("oram: base %#x not aligned to chunk size %d", cfg.Base, cfg.ChunkAlign)
+		return 0, 0, 0, fmt.Errorf("oram: base %#x not aligned to chunk size %d: %w", cfg.Base, cfg.ChunkAlign, ErrGeometry)
 	}
 	levels = heightFor(cfg.Blocks)
 	if levels > maxLevels {
@@ -423,6 +423,8 @@ func (o *ORAM) remap(block int) (oldLeaf, newLeaf uint32, err error) {
 // Access performs one oblivious operation. If write is true, data replaces
 // the block's contents; the previous contents are returned either way.
 // Reads must pass nil data. Safe for concurrent use.
+//
+//shef:deterministic
 func (o *ORAM) Access(block int, write bool, data []byte) ([]byte, error) {
 	op := "read"
 	if write {
@@ -611,6 +613,7 @@ func (o *ORAM) getEntry() *stashEntry {
 // run in one WriteAuto; serial mode writes leaf→root per bucket.
 func (o *ORAM) evictPath(op string, path []int) error {
 	keys := o.stashKeys[:0]
+	//shef:ignore stash ids collected into stashKeys and sorted before eviction
 	for id := range o.stash {
 		keys = append(keys, id)
 	}

@@ -2,7 +2,6 @@ package sdp
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"strconv"
 
@@ -29,6 +28,8 @@ func shardLabel(i int) string {
 // explicitly branched at every site rather than funnelled through a
 // closure so the disabled path performs the operation directly — no
 // closure escapes, no allocations, no label building.
+//
+//shef:guarded
 func doOp(op string, shard int, f func() error) error {
 	var err error
 	profiling.Do(context.Background(), func() { err = f() },
@@ -78,7 +79,7 @@ func (n *Node) NewTLSSession() (*TLSSession, error) {
 func (t *TLSSession) Seal(payload []byte) (ct, tags []byte, err error) {
 	aligned := alignUp(len(payload), t.chunk)
 	if aligned > len(t.plain) || len(payload) == 0 {
-		return nil, nil, fmt.Errorf("sdp: payload of %d bytes outside the tls region's 1..%d", len(payload), len(t.plain))
+		return nil, nil, rejectf("sdp: payload of %d bytes outside the tls region's 1..%d", len(payload), len(t.plain))
 	}
 	copy(t.plain, payload)
 	clear(t.plain[len(payload):aligned])
@@ -94,11 +95,11 @@ func (t *TLSSession) Seal(payload []byte) (ct, tags []byte, err error) {
 func (t *TLSSession) Open(dst, ct, tags []byte, size int) ([]byte, error) {
 	aligned := alignUp(size, t.chunk)
 	if aligned > len(t.plain) || size < 0 {
-		return nil, errors.New("sdp: sealed response larger than the tls region")
+		return nil, fmt.Errorf("sdp: sealed response of %d bytes outside the tls region: %w", size, ErrBadResponse)
 	}
 	k := aligned / t.chunk
 	if len(ct) < aligned || len(tags) < k*shield.TagSize {
-		return nil, errors.New("sdp: sealed response extent truncated")
+		return nil, fmt.Errorf("sdp: sealed response extent truncated: %w", ErrBadResponse)
 	}
 	if err := t.rs.OpenRange(0, 0, t.plain[:aligned], ct[:aligned], tags[:k*shield.TagSize]); err != nil {
 		return nil, err

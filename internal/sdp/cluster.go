@@ -176,7 +176,7 @@ func (n *Node) InstallSealedUserKeys(shard int, db SealedKeyDB) error {
 	encKey := kdf.Derive([]byte(info+"/enc"), n.dek, nil, 16)
 	macKey := kdf.Derive([]byte(info+"/mac"), n.dek, nil, 32)
 	if !hmacx.Verify(macKey, append(db.Nonce[:], db.Ciphertext...), db.Tag) {
-		return errors.New("sdp: sealed key database failed authentication")
+		return rejectf("sdp: sealed key database failed authentication")
 	}
 	plain, err := ctrXor(encKey, db.Nonce, db.Ciphertext)
 	if err != nil {
@@ -191,7 +191,7 @@ func (n *Node) InstallSealedUserKeys(shard int, db SealedKeyDB) error {
 }
 
 func parseKeyDB(plain []byte) (map[string][]byte, error) {
-	bad := errors.New("sdp: sealed key database malformed")
+	bad := fmt.Errorf("sdp: sealed key database malformed: %w", ErrConfig)
 	if len(plain) < 4 {
 		return nil, bad
 	}
@@ -287,7 +287,7 @@ type Cluster struct {
 // fleet bring-up is itself parallel.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Shards < 1 {
-		return nil, errors.New("sdp: cluster needs at least one shard")
+		return nil, fmt.Errorf("sdp: cluster needs at least one shard: %w", ErrConfig)
 	}
 	if cfg.Params == (perf.Params{}) {
 		cfg.Params = LineRateParams()
@@ -296,7 +296,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg.Replicas = 1
 	}
 	if cfg.Replicas > cfg.Shards {
-		return nil, fmt.Errorf("sdp: %d replicas need at least that many shards (have %d)", cfg.Replicas, cfg.Shards)
+		return nil, fmt.Errorf("sdp: %d replicas need at least that many shards (have %d): %w", cfg.Replicas, cfg.Shards, ErrConfig)
 	}
 	if cfg.Retry.MaxAttempts < 1 {
 		cfg.Retry.MaxAttempts = DefaultMaxAttempts

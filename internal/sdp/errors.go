@@ -24,6 +24,14 @@ var (
 	// policy violation, file not found, node full): authoritative answers,
 	// never retried, never counted against a shard's health.
 	ErrRejected = errors.New("sdp: request rejected")
+	// ErrBadResponse marks a sealed response whose shape cannot be opened
+	// (size out of range, truncated extents): corruption-adjacent
+	// infrastructure trouble, failed over like an authentication failure.
+	ErrBadResponse = errors.New("sdp: malformed sealed response")
+	// ErrConfig classifies constructor and provisioning input that can
+	// never work (bad shard counts, malformed key DBs): an authoritative
+	// rejection of the configuration, not runtime trouble.
+	ErrConfig = errors.New("sdp: invalid configuration")
 )
 
 // ShardError carries the shard identity of a failure through the cluster

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -334,16 +335,26 @@ func (c *Cluster) HealShard(i int) error {
 // channel: the CN holds every shard's session DEK, so reading a replica
 // for comparison and rewriting a divergent one happens inside the trust
 // domain the provisioning session already established.
+//
+// Repair order is sorted by file name: chaos runs replay fault schedules
+// seed-for-seed, and walking the registry in map order would make which
+// file hits an injected fault differ run to run.
+//
+//shef:deterministic
 func (c *Cluster) antiEntropy() error {
 	c.regMu.RLock()
-	files := make(map[string]fileMeta, len(c.registry))
+	names := make([]string, 0, len(c.registry))
+	metas := make(map[string]fileMeta, len(c.registry))
+	//shef:ignore snapshot collection; the walk below runs in sorted order
 	for name, meta := range c.registry {
-		files[name] = meta
+		names = append(names, name)
+		metas[name] = meta
 	}
 	c.regMu.RUnlock()
+	sort.Strings(names)
 	var errs []error
-	for name, meta := range files {
-		if err := c.repairFile(name, meta); err != nil {
+	for _, name := range names {
+		if err := c.repairFile(name, metas[name]); err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -398,7 +409,7 @@ func (c *Cluster) repairFile(name string, meta fileMeta) error {
 	}
 	if len(have) == 0 {
 		return &ShardError{Shard: reps[0], Op: "repair",
-			Err: fmt.Errorf("file %q unreadable on every reachable replica", name)}
+			Err: fmt.Errorf("file %q unreadable on every reachable replica: %w", name, ErrDegraded)}
 	}
 	winnerShard := -1
 	var winner []byte

@@ -236,17 +236,17 @@ func (c NodeConfig) ShieldConfig() shield.Config {
 // attestation).
 func NewNode(cfg NodeConfig, dek []byte, params perf.Params) (*Node, error) {
 	if cfg.Slots <= 0 || cfg.SlotBytes <= 0 {
-		return nil, errors.New("sdp: node needs at least one slot")
+		return nil, fmt.Errorf("sdp: node needs at least one slot: %w", ErrConfig)
 	}
 	if cfg.SlotBytes%cfg.AuthBlock != 0 {
-		return nil, errors.New("sdp: slot size must be a multiple of the auth block")
+		return nil, fmt.Errorf("sdp: slot size must be a multiple of the auth block: %w", ErrConfig)
 	}
 	if cfg.Oblivious {
 		if cfg.Slots*cfg.SlotBytes/cfg.AuthBlock < 2 {
-			return nil, errors.New("sdp: oblivious node needs at least two auth blocks of store")
+			return nil, fmt.Errorf("sdp: oblivious node needs at least two auth blocks of store: %w", ErrConfig)
 		}
 		if len(dek) < 8 {
-			return nil, errors.New("sdp: oblivious node needs a session DEK of at least 8 bytes")
+			return nil, fmt.Errorf("sdp: oblivious node needs a session DEK of at least 8 bytes: %w", ErrConfig)
 		}
 	}
 	scfg := cfg.ShieldConfig()

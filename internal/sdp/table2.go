@@ -40,7 +40,7 @@ func MeasureOverhead(cfg NodeConfig) (Table2Row, error) {
 	}
 	for i := range got {
 		if got[i] != payload[i] {
-			return Table2Row{}, fmt.Errorf("sdp: byte %d corrupted through the node", i)
+			return Table2Row{}, fmt.Errorf("sdp: byte %d corrupted through the node: %w", i, ErrBadResponse)
 		}
 	}
 	secure := node.Report().MemoryCycles()

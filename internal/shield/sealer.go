@@ -140,6 +140,8 @@ func (s *sealer) sealChunkInto(ct []byte, tag *[TagSize]byte, chunk int, counter
 // sealChunkWith is the allocation-free core of sealChunkInto: the caller
 // owns sc exclusively for the duration of the call. tagOut receives the
 // TagSize-byte tag (typically a slice of the window's staging buffer).
+//
+//shef:hotpath
 func (s *sealer) sealChunkWith(sc *sealScratch, ct, tagOut []byte, chunk int, counter uint32, plain []byte) {
 	sc.ctr.XORKeyStream(s.block, s.iv(chunk, counter), ct, plain)
 	msg := s.macInputInto(sc.msg[:0], chunk, counter, ct)
@@ -176,6 +178,8 @@ func (s *sealer) openChunkInto(dst []byte, chunk int, counter uint32, ct []byte,
 // owns sc exclusively for the duration of the call. tag is the
 // TagSize-byte stored tag (typically a slice of the window's staging
 // buffer).
+//
+//shef:hotpath
 func (s *sealer) openChunkWith(sc *sealScratch, dst []byte, chunk int, counter uint32, ct, tag []byte) error {
 	msg := s.macInputInto(sc.msg[:0], chunk, counter, ct)
 	var t [TagSize]byte
@@ -188,6 +192,7 @@ func (s *sealer) openChunkWith(sc *sealScratch, dst []byte, chunk int, counter u
 	}
 	sc.msg = msg[:0]
 	if !ok {
+		//shef:ignore tamper path: the latch trips and the op fails, allocation cost is irrelevant
 		return &IntegrityError{Region: s.cfg.Name, Chunk: chunk}
 	}
 	sc.ctr.XORKeyStream(s.block, s.iv(chunk, counter), dst, ct)
