@@ -25,6 +25,12 @@ package main
 //     the baseline — that ratio is host-relative (both ends run on the
 //     same machine), and it is the PR sequence's headline scaling claim.
 //
+//   - Overhead metrics gate with absolute ceilings (lower is better):
+//     sim-region-lookup-overhead-pct must stay ≤ 5% — region resolution
+//     on the burst-decode path has to stay O(1) however many tenant
+//     zones are resident. Ceiling metrics are excluded from the
+//     higher-is-better baseline comparison.
+//
 // Plain ns/op and ops/sec-* values are recorded in the artifacts for
 // trend-watching only.
 
@@ -150,9 +156,14 @@ func loadBenchDoc(path string) (*BenchDoc, error) {
 }
 
 // gatedMetric reports whether a metric name participates in the
-// regression gate: deterministic simulated throughput or real wall-clock
-// family, both higher is better.
+// higher-is-better regression gate: deterministic simulated throughput
+// or real wall-clock family. Ceiling-gated metrics are lower-is-better
+// and are excluded — comparing them as throughput would flag an
+// improvement (a drop) as a regression.
 func gatedMetric(name string) bool {
+	if ceilingMetric(name) {
+		return false
+	}
 	return strings.HasPrefix(name, "sim-") || strings.HasPrefix(name, "real-")
 }
 
@@ -178,6 +189,60 @@ type floorGate struct {
 var floorGates = []floorGate{
 	{"real-cluster-scale-x", 2.0, "real cluster throughput no longer scales with shards"},
 	{"real-degraded-retain-x", 0.25, "single-node-failure throughput collapsed — degraded mode is not serving"},
+	{"real-tenant-fairness-x", 0.25, "a noisy neighbour starves well-behaved tenants — fair admission is not protecting victims"},
+}
+
+// ceilingGate is one absolute metric ceiling: the lower-is-better dual
+// of floorGate, for overhead metrics that must stay bounded.
+type ceilingGate struct {
+	metric  string
+	ceiling float64
+	what    string
+}
+
+// ceilingGates: the virtual-region lookup cache must keep per-access
+// region resolution effectively free — the simulated lookup charge stays
+// under 5% of the data-path cycles even with ~1k tenant zones resident.
+var ceilingGates = []ceilingGate{
+	{"sim-region-lookup-overhead-pct", 5.0, "region lookup is no longer O(1) — the TLB cache stopped absorbing multi-tenant table growth"},
+}
+
+// ceilingMetric reports whether a metric gates with an absolute ceiling
+// (lower is better).
+func ceilingMetric(name string) bool {
+	for _, g := range ceilingGates {
+		if g.metric == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCeilings applies the absolute ceilings to the PR run. Like the
+// floors, absence is a failure: a run that stopped measuring an overhead
+// bound must not pass the gate that exists to enforce it.
+func checkCeilings(pr *BenchDoc) (regressions, report []string) {
+	for _, g := range ceilingGates {
+		found := false
+		for _, e := range pr.Benchmarks {
+			v, ok := e.Metrics[g.metric]
+			if !ok {
+				continue
+			}
+			found = true
+			if v > g.ceiling {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %s = %.2f, ceiling %.2f — %s", e.key(), g.metric, v, g.ceiling, g.what))
+			} else {
+				report = append(report, fmt.Sprintf("%s %s: %.2f (ceiling %.2f)", e.Name, g.metric, v, g.ceiling))
+			}
+		}
+		if !found {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s missing from PR run — the benchmark did not report it; %s", g.metric, regenHint))
+		}
+	}
+	return regressions, report
 }
 
 // regenHint is the remediation line for a missing gated metric.
@@ -334,8 +399,10 @@ func runCheck(baselinePath, prPath string, threshold, realThreshold float64, w i
 	regressions = append(regressions, allocRegressions...)
 	floorRegressions, floorReport := checkFloors(pr)
 	regressions = append(regressions, floorRegressions...)
-	fmt.Fprintf(w, "benchtab -check: %d gated metrics vs %s (sim budget %.0f%%, real budget %.0f%%), %d zero-alloc gates, %d absolute floors\n",
-		len(report), baselinePath, threshold*100, realThreshold*100, len(allocReport), len(floorGates))
+	ceilRegressions, ceilReport := checkCeilings(pr)
+	regressions = append(regressions, ceilRegressions...)
+	fmt.Fprintf(w, "benchtab -check: %d gated metrics vs %s (sim budget %.0f%%, real budget %.0f%%), %d zero-alloc gates, %d absolute floors, %d absolute ceilings\n",
+		len(report), baselinePath, threshold*100, realThreshold*100, len(allocReport), len(floorGates), len(ceilingGates))
 	for _, line := range report {
 		fmt.Fprintln(w, "  ", line)
 	}
@@ -343,6 +410,9 @@ func runCheck(baselinePath, prPath string, threshold, realThreshold float64, w i
 		fmt.Fprintln(w, "  ", line)
 	}
 	for _, line := range floorReport {
+		fmt.Fprintln(w, "  ", line)
+	}
+	for _, line := range ceilReport {
 		fmt.Fprintln(w, "  ", line)
 	}
 	if len(newMetrics) > 0 {

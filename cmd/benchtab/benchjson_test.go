@@ -185,15 +185,23 @@ func TestCheckRealFamilyBudget(t *testing.T) {
 }
 
 func TestCheckFloors(t *testing.T) {
-	// Healthy scaling and degraded retention pass and are reported.
+	// Healthy scaling, degraded retention, and tenant fairness pass and
+	// are reported.
 	pr := &BenchDoc{Benchmarks: []BenchEntry{
 		{Name: "BenchmarkClusterThroughput", Metrics: map[string]float64{"real-cluster-scale-x": 5.4}},
 		{Name: "BenchmarkClusterDegraded", Metrics: map[string]float64{"real-degraded-retain-x": 0.8}},
+		{Name: "BenchmarkTenantFairness", Metrics: map[string]float64{"real-tenant-fairness-x": 0.7}},
 	}}
 	regs, report := checkFloors(pr)
-	if len(regs) != 0 || len(report) != 2 {
+	if len(regs) != 0 || len(report) != 3 {
 		t.Fatalf("healthy floors: regs=%v report=%v", regs, report)
 	}
+	// A starved victim fails the fairness floor absolutely.
+	pr.Benchmarks[2].Metrics["real-tenant-fairness-x"] = 0.1
+	if regs, _ := checkFloors(pr); len(regs) != 1 || !strings.Contains(regs[0], "real-tenant-fairness-x") {
+		t.Fatalf("starved victim not flagged: %v", regs)
+	}
+	pr.Benchmarks[2].Metrics["real-tenant-fairness-x"] = 0.7
 	// Flat scaling fails absolutely, baseline or not.
 	pr.Benchmarks[0].Metrics["real-cluster-scale-x"] = 1.3
 	if regs, _ := checkFloors(pr); len(regs) != 1 || !strings.Contains(regs[0], "floor") {
@@ -215,6 +223,48 @@ func TestCheckFloors(t *testing.T) {
 	}
 	if !strings.Contains(regs[0], "-json") {
 		t.Fatalf("missing-floor regression lacks the regenerate hint: %v", regs)
+	}
+}
+
+func TestCheckCeilings(t *testing.T) {
+	// A bounded lookup overhead passes and is reported.
+	pr := &BenchDoc{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkRegionLookupScaling", Metrics: map[string]float64{"sim-region-lookup-overhead-pct": 0.16}},
+	}}
+	regs, report := checkCeilings(pr)
+	if len(regs) != 0 || len(report) != 1 {
+		t.Fatalf("healthy ceiling: regs=%v report=%v", regs, report)
+	}
+	// Overhead past the ceiling fails absolutely.
+	pr.Benchmarks[0].Metrics["sim-region-lookup-overhead-pct"] = 7.2
+	if regs, _ := checkCeilings(pr); len(regs) != 1 || !strings.Contains(regs[0], "ceiling") {
+		t.Fatalf("over-ceiling overhead not flagged: %v", regs)
+	}
+	// Not measuring the overhead fails with the regenerate hint.
+	delete(pr.Benchmarks[0].Metrics, "sim-region-lookup-overhead-pct")
+	regs, _ = checkCeilings(pr)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") || !strings.Contains(regs[0], "-json") {
+		t.Fatalf("unmeasured overhead not flagged: %v", regs)
+	}
+}
+
+func TestCeilingMetricExcludedFromRegressionGate(t *testing.T) {
+	if gatedMetric("sim-region-lookup-overhead-pct") {
+		t.Fatal("ceiling metric must not gate higher-is-better")
+	}
+	if !gatedMetric("sim-region-lookup-hit-pct") {
+		t.Fatal("hit-rate metric should gate higher-is-better")
+	}
+	// An overhead improvement (a drop) must not read as a throughput
+	// regression against the baseline.
+	base := &BenchDoc{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkRegionLookupScaling", Metrics: map[string]float64{"sim-region-lookup-overhead-pct": 2.0}},
+	}}
+	pr := &BenchDoc{Benchmarks: []BenchEntry{
+		{Name: "BenchmarkRegionLookupScaling", Metrics: map[string]float64{"sim-region-lookup-overhead-pct": 0.1}},
+	}}
+	if regs, _, _ := checkRegression(base, pr, 0.20, 0.50); len(regs) != 0 {
+		t.Fatalf("overhead improvement flagged as regression: %v", regs)
 	}
 }
 

@@ -42,6 +42,9 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "admission control: max concurrent owner sessions (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 0, "admission control: connections allowed to wait for a session slot before shedding")
 	retryAfter := flag.Duration("retry-after", 100*time.Millisecond, "backoff hint sent with shed (busy) responses")
+	maxTenants := flag.Int("max-tenants", 0, "multi-tenant: max distinct tenants holding protection zones (0 = unlimited)")
+	tenantQuota := flag.Uint64("tenant-quota", 0, "multi-tenant: per-tenant zone byte budget (0 = unlimited)")
+	tenantFair := flag.Bool("tenant-fair", false, "multi-tenant: weighted-fair admission under overload")
 	flag.Parse()
 
 	v, err := parseVariant(*variant)
@@ -61,14 +64,22 @@ func main() {
 	if err != nil {
 		log.Fatalf("shefd: %v", err)
 	}
-	srv := hostapp.NewVendorServerWith(vendor, ln, hostapp.ServerConfig{
-		MaxSessions: *maxSessions,
-		MaxQueue:    *maxQueue,
-		RetryAfter:  *retryAfter,
-	})
+	cfg := hostapp.ServerConfig{
+		MaxSessions:      *maxSessions,
+		MaxQueue:         *maxQueue,
+		RetryAfter:       *retryAfter,
+		MaxTenants:       *maxTenants,
+		TenantQuotaBytes: *tenantQuota,
+		TenantFair:       *tenantFair,
+	}
+	srv := hostapp.NewVendorServerWith(vendor, ln, cfg)
 	fmt.Printf("shefd: serving product %q on %s\n", product, srv.Addr())
 	if *maxSessions > 0 {
 		fmt.Printf("shefd: admission control: %d session(s), queue %d, retry-after %s\n", *maxSessions, *maxQueue, *retryAfter)
+	}
+	if srv.Tenants() != nil {
+		fmt.Printf("shefd: multi-tenant: max %s tenant(s), quota %s byte(s)/tenant, fair admission %v\n",
+			unlimited(*maxTenants), unlimited(int(*tenantQuota)), *tenantFair)
 	}
 	fmt.Printf("shefd: designs available in this build: %v\n", accel.Designs())
 	fmt.Printf("shefd: %s\n", engine.Select())
@@ -105,6 +116,18 @@ func main() {
 	}
 	st := srv.Stats()
 	fmt.Printf("shefd: served %d session(s), %d failed, %d shed\n", st.Served, st.Failed, st.Shed)
+	for _, ts := range st.Tenants {
+		fmt.Printf("shefd:   tenant %q: served %d, shed %d, %d zone(s) holding %d byte(s)\n",
+			ts.Tenant, ts.Served, ts.Shed, ts.Zones, ts.ZoneBytes)
+	}
+}
+
+// unlimited renders a 0-means-unlimited bound for the startup banner.
+func unlimited(n int) string {
+	if n == 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 // startDebug stands up the opt-in observability listener. An empty addr —
@@ -114,11 +137,15 @@ func startDebug(addr string, srv *hostapp.VendorServer) (*hostapp.DebugServer, e
 		return nil, nil
 	}
 	return hostapp.NewDebugServer(addr, func() any {
-		return map[string]any{
+		stats := map[string]any{
 			"server":   srv.Stats(),
 			"sessions": srv.Sessions(),
 			"engine":   engine.Select().String(),
 		}
+		if reg := srv.Tenants(); reg != nil {
+			stats["tenants"] = reg.Stats()
+		}
+		return stats
 	})
 }
 

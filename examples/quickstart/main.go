@@ -70,4 +70,12 @@ func main() {
 	}
 	fmt.Printf("bare run:     %d cycles\n", bare.Cycles)
 	fmt.Printf("cost of security: %.2fx\n", accel.Overhead(res, bare))
+
+	// The regions above came from the design's static manifest, but the
+	// Shield's region model is dynamic underneath: tenants can carve
+	// quota'd protection zones at runtime with
+	// platform.Shield.CreateRegion / DestroyRegion (destroy is erasure),
+	// and `shefd -max-tenants/-tenant-quota/-tenant-fair` serves the same
+	// lifecycle over the wire. See DESIGN.md §11 and
+	// examples/secure_storage for the tenant-zone storage node.
 }

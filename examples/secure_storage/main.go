@@ -72,6 +72,32 @@ func main() {
 		fmt.Printf("tamper detected: %v\n", err)
 	}
 
+	// Tenant zones: the same node in multi-tenant mode places each user's
+	// files in their own runtime-created protection zone, so the GDPR
+	// right-to-erasure is structural — EraseTenant destroys the zone (key,
+	// files, freshness metadata and all) and recycles the space for the
+	// next tenant with nothing to resurface. DESIGN.md §11.
+	tcfg := cfg
+	tcfg.TenantZones = true
+	tcfg.TenantSlots = 4
+	tnode, err := sdp.NewNode(tcfg, dek, sdp.LineRateParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tnode.ProvisionUserKeys(map[string][]byte{
+		"alice": []byte("alice-master-key"),
+		"bob":   []byte("bob-master-key"),
+	})
+	tnode.Put("alice", "health.rec", record)
+	tnode.Put("bob", "notes.txt", []byte("bob's notes"))
+	if err := tnode.EraseTenant("alice"); err != nil {
+		log.Fatal(err)
+	}
+	_, aliceErr := tnode.Get("alice", "health.rec")
+	bobGot, bobErr := tnode.Get("bob", "notes.txt")
+	fmt.Printf("\ntenant zones: alice erased (%v), bob intact (%t)\n",
+		aliceErr != nil, bobErr == nil && len(bobGot) > 0)
+
 	// Table 2: the Shield-configuration sweep of §6.2.3.
 	fmt.Println("\nTable 2 sweep (1MB file accesses, overhead vs unsecured line rate):")
 	rows, err := sdp.Table2()

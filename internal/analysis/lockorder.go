@@ -36,8 +36,12 @@ var lockRanks = map[string]int{
 	// these.
 	"shield.Shield.provMu":   10,
 	"shield.Shield.mu":       20,
+	"shield.RegionTable.mu":  24,
 	"shield.engineSet.mu":    30,
 	"shield.RegisterFile.mu": 40,
+	// mem: the quota accountant is a leaf — the shield region table holds
+	// its own mu while charging it, and it calls out to nothing.
+	"mem.Accountant.mu": 50,
 	// sdp: controller key DB and the cluster's striped per-file write
 	// locks are outermost; then the witness registry, then node state,
 	// with the per-shard health FSM as the leaf.
@@ -50,6 +54,9 @@ var lockRanks = map[string]int{
 	// package) and the platform pool's own lock.
 	"hostapp.VendorServer.mu": 10,
 	"hostapp.Pool.mu":         20,
+	// The tenant registry is self-contained: the server calls it with no
+	// lock held, and registry methods never call back out.
+	"hostapp.TenantRegistry.mu": 30,
 	// faultinject: plan counters are a leaf.
 	"faultinject.Plan.mu": 50,
 	// fixtures (testdata models of the real hierarchy)

@@ -14,7 +14,7 @@ import (
 // overloadServer builds a minimal vendor server (CA only — registration
 // is a complete request/response without a bitstream catalogue) with the
 // given admission bounds, and returns it serving.
-func overloadServer(t *testing.T, cfg ServerConfig) (*VendorServer, chan error) {
+func overloadServer(t testing.TB, cfg ServerConfig) (*VendorServer, chan error) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -27,7 +27,7 @@ func overloadServer(t *testing.T, cfg ServerConfig) (*VendorServer, chan error) 
 }
 
 // waitFor polls cond until it holds or the deadline passes.
-func waitFor(t *testing.T, what string, cond func() bool) {
+func waitFor(t testing.TB, what string, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for !cond() {

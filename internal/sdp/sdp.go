@@ -62,6 +62,22 @@ type NodeConfig struct {
 	// always write through (the ORAM's visibility schedule is part of
 	// its obliviousness argument).
 	WriteBack bool
+	// TenantZones places each user's files in their own runtime-created
+	// protection zone instead of one shared static store region: the
+	// store arena is carved into per-user zones (TenantSlots slots each),
+	// created lazily on a user's first Put via the Shield's virtual
+	// region layer and destroyed — counters, valid bits, and all — by
+	// EraseTenant, which is the GDPR erasure guarantee made structural:
+	// after destruction the zone's ciphertext is unrecoverable even with
+	// the device key, because the per-region key material and freshness
+	// state died with the zone. The tls region stays static (it is the
+	// node's own network endpoint, not tenant data). Incompatible with
+	// Oblivious (the ORAM fronts one flat store region).
+	TenantZones bool
+	// TenantSlots is how many file slots each per-user zone holds
+	// (TenantZones mode; default 1). Slots must divide evenly into
+	// per-user zones.
+	TenantSlots int
 	// ResponseCacheBytes sizes the sealed-response cache: the most
 	// recently served tls images (ciphertext + tags), kept in the node's
 	// on-chip budget next to the network port so a repeat Get of an
@@ -133,6 +149,11 @@ type Node struct {
 	directory map[string]fileEntry
 	nextSlot  int
 
+	// Tenant-zone state (TenantZones mode): live per-user zones and the
+	// free-list of zone base addresses in the store arena.
+	zones     map[string]*tenantZone
+	freeZones []uint64
+
 	// Serving-path state, all under mu. tlsSeal is the node's own TLS
 	// endpoint (legacy Put/Get seal and open inline; the staged API
 	// moves that work to a client-held TLSSession). The staging buffers
@@ -182,6 +203,12 @@ type fileEntry struct {
 	user string
 }
 
+// tenantZone is one user's protection zone in the store arena.
+type tenantZone struct {
+	base     uint64
+	nextSlot int // next free slot within the zone
+}
+
 // oramConfig shapes the store-region ORAM: one ORAM block per auth block,
 // buckets padded to the chunk size so bucket stores stream as full-chunk
 // writes, position map recursing once the table outgrows 4K entries.
@@ -209,7 +236,9 @@ func (c NodeConfig) storeSize() uint64 {
 
 func (c NodeConfig) tlsSize() uint64 { return uint64(c.SlotBytes) }
 
-// ShieldConfig builds the two identical engine sets of §6.2.3.
+// ShieldConfig builds the two identical engine sets of §6.2.3. In
+// TenantZones mode only the tls region is static; the store arena is
+// left to runtime-created per-user zones (ArenaEnd bounds it).
 func (c NodeConfig) ShieldConfig() shield.Config {
 	mk := func(name string, base uint64, size uint64) shield.RegionConfig {
 		return shield.RegionConfig{
@@ -218,16 +247,36 @@ func (c NodeConfig) ShieldConfig() shield.Config {
 			MAC: c.MAC, BufferBytes: c.BufferBytes,
 		}
 	}
+	tls := mk("tls", tlsBase, c.tlsSize())
+	tls.Channel = 1 // the TLS/network port is a separate physical interface
+	if c.TenantZones {
+		return shield.Config{
+			Regions:   []shield.RegionConfig{tls},
+			Registers: 16,
+			ArenaEnd:  storeBase + uint64(c.Slots*c.SlotBytes),
+		}
+	}
 	store := mk("store", storeBase, c.storeSize())
 	// Files are overwritten in place, so the store region carries replay
 	// counters: a cloud operator must not be able to roll a record back
 	// to a pre-erasure version (the GDPR deletion guarantee).
 	store.Freshness = true
-	tls := mk("tls", tlsBase, c.tlsSize())
-	tls.Channel = 1 // the TLS/network port is a separate physical interface
 	return shield.Config{
 		Regions:   []shield.RegionConfig{store, tls},
 		Registers: 16,
+	}
+}
+
+// storeZoneConfig is one user's protection zone: a store-shaped region
+// owned by the user's tenant identity, replay-protected like the static
+// store (rollback across erasure is the attack GDPR deletion forbids).
+func (c NodeConfig) storeZoneConfig(user string, base uint64) shield.RegionConfig {
+	return shield.RegionConfig{
+		Name: "store", Tenant: user, Base: base,
+		Size: uint64(c.TenantSlots * c.SlotBytes), ChunkSize: c.AuthBlock,
+		AESEngines: c.Engines, SBox: c.SBox, KeySize: aesx.AES128,
+		MAC: c.MAC, BufferBytes: c.BufferBytes,
+		Freshness: true,
 	}
 }
 
@@ -240,6 +289,18 @@ func NewNode(cfg NodeConfig, dek []byte, params perf.Params) (*Node, error) {
 	}
 	if cfg.SlotBytes%cfg.AuthBlock != 0 {
 		return nil, fmt.Errorf("sdp: slot size must be a multiple of the auth block: %w", ErrConfig)
+	}
+	if cfg.TenantZones {
+		if cfg.Oblivious {
+			return nil, fmt.Errorf("sdp: tenant zones and the oblivious store are mutually exclusive: %w", ErrConfig)
+		}
+		if cfg.TenantSlots <= 0 {
+			cfg.TenantSlots = 1
+		}
+		if cfg.Slots%cfg.TenantSlots != 0 {
+			return nil, fmt.Errorf("sdp: %d slots do not divide into zones of %d: %w",
+				cfg.Slots, cfg.TenantSlots, ErrConfig)
+		}
 	}
 	if cfg.Oblivious {
 		if cfg.Slots*cfg.SlotBytes/cfg.AuthBlock < 2 {
@@ -256,6 +317,11 @@ func NewNode(cfg NodeConfig, dek []byte, params perf.Params) (*Node, error) {
 	var tagBytes uint64
 	for _, r := range scfg.Regions {
 		tagBytes += uint64(r.Chunks() * shield.TagSize)
+	}
+	if cfg.TenantZones {
+		// Runtime zones claim tag shadow from the same pool the static
+		// regions would have: budget for the whole store arena.
+		tagBytes += uint64(cfg.Slots * cfg.SlotBytes / cfg.AuthBlock * shield.TagSize)
 	}
 	dram := mem.NewDRAM(uint64(tlsBase)+cfg.tlsSize()+tagBytes+1<<20, params)
 	ocm := mem.NewOCM(1 << 32)
@@ -285,7 +351,7 @@ func NewNode(cfg NodeConfig, dek []byte, params perf.Params) (*Node, error) {
 		userKeys:  make(map[string][]byte),
 		directory: make(map[string]fileEntry),
 	}
-	n.tlsCfg = scfg.Regions[1]
+	n.tlsCfg = scfg.Regions[len(scfg.Regions)-1] // tls is last (the only static region in tenant-zone mode)
 	n.tlsLayout, _ = sh.Layout("tls")
 	n.tlsSeal, err = shield.NewRegionSealer(n.tlsCfg, n.tlsLayout.RegionID, n.dek)
 	if err != nil {
@@ -294,6 +360,17 @@ func NewNode(cfg NodeConfig, dek []byte, params perf.Params) (*Node, error) {
 	n.userCiphers = make(map[string]*userCipher)
 	if cfg.ResponseCacheBytes > 0 {
 		n.respCache = make(map[string]*respEntry)
+	}
+	if cfg.TenantZones {
+		n.zones = make(map[string]*tenantZone)
+		zoneBytes := uint64(cfg.TenantSlots * cfg.SlotBytes)
+		// Pushed high-to-low so zones hand out in ascending address order.
+		for base := storeBase + uint64(cfg.Slots*cfg.SlotBytes) - zoneBytes; ; base -= zoneBytes {
+			n.freeZones = append(n.freeZones, base)
+			if base == storeBase {
+				break
+			}
+		}
 	}
 	if cfg.Oblivious {
 		// The leaf-draw seed derives from the session DEK: deterministic
@@ -489,6 +566,9 @@ func (n *Node) reserve(user, name string, size int) (fileEntry, error) {
 	if size > n.cfg.SlotBytes {
 		return fileEntry{}, rejectf("sdp: file of %d bytes exceeds slot size %d", size, n.cfg.SlotBytes)
 	}
+	if n.cfg.TenantZones {
+		return n.reserveInZone(user, name, size)
+	}
 	entry, ok := n.directory[name]
 	if !ok {
 		if n.nextSlot >= n.cfg.Slots {
@@ -500,6 +580,85 @@ func (n *Node) reserve(user, name string, size int) (fileEntry, error) {
 	entry.size = size
 	entry.user = user
 	return entry, nil
+}
+
+// reserveInZone allocates a file slot inside the user's own protection
+// zone, creating the zone on first use. Slots stay global indices (the
+// arena's address math is unchanged); the zone boundary is what the
+// Shield's region table enforces. Caller holds mu.
+func (n *Node) reserveInZone(user, name string, size int) (fileEntry, error) {
+	z, err := n.zoneFor(user)
+	if err != nil {
+		return fileEntry{}, err
+	}
+	entry, ok := n.directory[name]
+	if ok {
+		if entry.user != user {
+			return fileEntry{}, rejectf("sdp: user %q may not access %q (GDPR policy)", user, name)
+		}
+	} else {
+		if z.nextSlot >= n.cfg.TenantSlots {
+			return fileEntry{}, rejectf("sdp: user %q's zone is full (%d slots)", user, n.cfg.TenantSlots)
+		}
+		entry = fileEntry{slot: int((z.base-storeBase)/uint64(n.cfg.SlotBytes)) + z.nextSlot}
+		z.nextSlot++
+	}
+	entry.size = size
+	entry.user = user
+	return entry, nil
+}
+
+// zoneFor returns (lazily creating) the user's protection zone. A new
+// zone is one CreateRegion call against the Shield's virtual region
+// layer; its engine set materialises on the first data access, so an
+// idle user costs only directory bytes. Caller holds mu.
+func (n *Node) zoneFor(user string) (*tenantZone, error) {
+	if z, ok := n.zones[user]; ok {
+		return z, nil
+	}
+	if len(n.freeZones) == 0 {
+		return nil, reject(errors.New("sdp: node full (no free tenant zones)"))
+	}
+	base := n.freeZones[len(n.freeZones)-1]
+	if err := n.sh.CreateRegion(n.cfg.storeZoneConfig(user, base)); err != nil {
+		return nil, fmt.Errorf("sdp: tenant zone for %q: %w", user, err)
+	}
+	n.freeZones = n.freeZones[:len(n.freeZones)-1]
+	z := &tenantZone{base: base}
+	n.zones[user] = z
+	return z, nil
+}
+
+// EraseTenant is the GDPR "right to be forgotten" made structural: it
+// destroys the user's protection zone — per-region key material,
+// freshness counters, and valid bits all die with it, so the zone's
+// ciphertext in device memory is unrecoverable even by the operator —
+// and forgets the user's key and directory entries. The zone's address
+// range returns to the free list for the next tenant.
+func (n *Node) EraseTenant(user string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.cfg.TenantZones {
+		return rejectf("sdp: node has no tenant zones to erase")
+	}
+	if z, ok := n.zones[user]; ok {
+		if err := n.sh.DestroyRegion(user, "store"); err != nil {
+			return err
+		}
+		n.freeZones = append(n.freeZones, z.base)
+		delete(n.zones, user)
+	}
+	for name, e := range n.directory {
+		if e.user == user {
+			delete(n.directory, name)
+			n.respInvalidate(name)
+		}
+	}
+	delete(n.userKeys, user)
+	// The cipher cache keys on (user, file); erasure is rare, so a full
+	// sweep beats tracking per-user membership.
+	clear(n.userCiphers)
+	return nil
 }
 
 // putStaged is the node half of a Put once the sealed tls image has been
@@ -518,25 +677,38 @@ func (n *Node) putStaged(user, name string, entry fileEntry) error {
 	}
 	n.directory[name] = entry
 	n.respInvalidate(name)
-	return n.flushStore()
+	return n.flushStore(user)
 }
 
 // flushStore is Put's durability barrier: under the default
 // write-through policy every operation's store lines are sealed to DRAM
 // before it returns; under WriteBack they stay resident and dirty (the
-// serving-tier policy), written back by eviction pressure or Sync.
-func (n *Node) flushStore() error {
+// serving-tier policy), written back by eviction pressure or Sync. In
+// tenant-zone mode the barrier covers only the writing user's zone.
+func (n *Node) flushStore(user string) error {
 	if n.cfg.WriteBack && n.oram == nil {
 		return nil
+	}
+	if n.cfg.TenantZones {
+		return n.sh.FlushTenantRegion(user, "store")
 	}
 	return n.sh.FlushRegion("store")
 }
 
 // Sync writes back all dirty store lines — the explicit durability
-// barrier of a WriteBack node (a no-op burden under write-through).
+// barrier of a WriteBack node (a no-op burden under write-through). In
+// tenant-zone mode it walks every live zone.
 func (n *Node) Sync() error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.cfg.TenantZones {
+		for user := range n.zones {
+			if err := n.sh.FlushTenantRegion(user, "store"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	return n.sh.FlushRegion("store")
 }
 

@@ -1,0 +1,165 @@
+package sdp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func tenantZoneConfig() NodeConfig {
+	c := smallConfig()
+	c.TenantZones = true
+	c.TenantSlots = 2
+	return c
+}
+
+func newTenantNode(t *testing.T) *Node {
+	t.Helper()
+	dek := bytes.Repeat([]byte{0x21}, 32)
+	n, err := NewNode(tenantZoneConfig(), dek, LineRateParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.ProvisionUserKeys(map[string][]byte{
+		"alice": []byte("alice-key"),
+		"bob":   []byte("bob-key"),
+		"carol": []byte("carol-key"),
+	})
+	return n
+}
+
+// tenantZoneOwners lists which tenants hold store zones (the static tls
+// region is tenant-less and excluded).
+func tenantZoneOwners(n *Node) map[string]bool {
+	owners := map[string]bool{}
+	for _, z := range n.sh.Zones() {
+		if z.Tenant != "" {
+			owners[z.Tenant] = true
+		}
+	}
+	return owners
+}
+
+// TestTenantZonePlacement: each user's files land in their own
+// runtime-created protection zone, data round-trips, and the arena's
+// zone budget is enforced.
+func TestTenantZonePlacement(t *testing.T) {
+	n := newTenantNode(t)
+	fa := bytes.Repeat([]byte{1}, 5000)
+	fb := bytes.Repeat([]byte{2}, 7000)
+	if err := n.Put("alice", "a.rec", fa); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Put("bob", "b.rec", fb); err != nil {
+		t.Fatal(err)
+	}
+	owners := tenantZoneOwners(n)
+	if len(owners) != 2 || !owners["alice"] || !owners["bob"] {
+		t.Fatalf("tenant zones after two users = %v, want alice+bob", owners)
+	}
+	got, err := n.Get("alice", "a.rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fa) {
+		t.Fatal("alice's file corrupted through her zone")
+	}
+	got, err = n.Get("bob", "b.rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fb) {
+		t.Fatal("bob's file corrupted through his zone")
+	}
+	// 4 slots / 2 per zone = 2 zones: a third user finds the arena full,
+	// as an application rejection (not a node-health event).
+	err = n.Put("carol", "c.rec", fa)
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("third tenant on a full arena: got %v, want ErrRejected", err)
+	}
+	// A zone's slot budget is enforced per tenant.
+	if err := n.Put("alice", "a2.rec", fa); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Put("alice", "a3.rec", fa); !errors.Is(err, ErrRejected) {
+		t.Fatalf("over-budget tenant put: got %v, want ErrRejected", err)
+	}
+	// Cross-tenant name collision is a policy rejection, not an overwrite.
+	if err := n.Put("bob", "a.rec", fb); !errors.Is(err, ErrRejected) {
+		t.Fatalf("cross-tenant name steal: got %v, want ErrRejected", err)
+	}
+}
+
+// TestEraseTenant: GDPR erasure destroys the user's zone, their files,
+// and their key; the freed zone serves the next tenant with no data
+// resurfacing.
+func TestEraseTenant(t *testing.T) {
+	n := newTenantNode(t)
+	secret := bytes.Repeat([]byte{0xEE}, 6000)
+	if err := n.Put("alice", "a.rec", secret); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Put("bob", "b.rec", secret); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.EraseTenant("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Get("alice", "a.rec"); !errors.Is(err, ErrRejected) {
+		t.Fatalf("erased tenant's file still served: %v", err)
+	}
+	if owners := tenantZoneOwners(n); len(owners) != 1 || !owners["bob"] {
+		t.Fatalf("erased zone still in the region table: %v", owners)
+	}
+	// Bob is untouched.
+	got, err := n.Get("bob", "b.rec")
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Fatalf("neighbour lost data across erasure: %v", err)
+	}
+	// The freed zone serves a new tenant; alice's old ciphertext must not
+	// resurface through the recycled address range.
+	n.ProvisionUserKeys(map[string][]byte{"carol": []byte("carol-key")})
+	fresh := bytes.Repeat([]byte{0x11}, 6000)
+	if err := n.Put("carol", "c.rec", fresh); err != nil {
+		t.Fatal(err)
+	}
+	got, err = n.Get("carol", "c.rec")
+	if err != nil || !bytes.Equal(got, fresh) {
+		t.Fatalf("recycled zone does not serve: %v", err)
+	}
+	// Erasing a tenant that only ever held a key (no zone) still forgets
+	// the key.
+	n.ProvisionUserKeys(map[string][]byte{"dave": []byte("dave-key")})
+	if err := n.EraseTenant("dave"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Put("dave", "d.rec", fresh); !errors.Is(err, ErrRejected) {
+		t.Fatalf("erased keyless tenant can still write: %v", err)
+	}
+}
+
+// TestTenantZonesConfigGuards: the mode's config invariants reject with
+// ErrConfig.
+func TestTenantZonesConfigGuards(t *testing.T) {
+	dek := bytes.Repeat([]byte{0x21}, 32)
+	c := tenantZoneConfig()
+	c.Oblivious = true
+	if _, err := NewNode(c, dek, LineRateParams()); !errors.Is(err, ErrConfig) {
+		t.Fatalf("oblivious+tenant zones: got %v, want ErrConfig", err)
+	}
+	c = tenantZoneConfig()
+	c.TenantSlots = 3 // 4 slots do not divide by 3
+	if _, err := NewNode(c, dek, LineRateParams()); !errors.Is(err, ErrConfig) {
+		t.Fatalf("indivisible slots: got %v, want ErrConfig", err)
+	}
+	// TenantSlots defaults to 1.
+	c = tenantZoneConfig()
+	c.TenantSlots = 0
+	n, err := NewNode(c, dek, LineRateParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.cfg.TenantSlots != 1 {
+		t.Fatalf("TenantSlots default = %d, want 1", n.cfg.TenantSlots)
+	}
+}

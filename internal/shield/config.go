@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"shef/internal/crypto/aesx"
+	"shef/internal/mem"
 )
 
 // MACKind selects the authentication engine of an engine set.
@@ -52,6 +53,12 @@ const CounterSize = 4
 type RegionConfig struct {
 	// Name labels the region in reports ("weights", "featuremaps", ...).
 	Name string
+	// Tenant is the protection zone's owner. Static Config.Regions leave
+	// it empty and inherit the session tenant (Config.Tenant); zones
+	// created at runtime through Shield.CreateRegion name their owner
+	// here, and all lifecycle operations (flush, destroy, reclaim) are
+	// keyed by the (tenant, name) pair.
+	Tenant string
 	// Base and Size delimit the region. Base must be ChunkSize-aligned and
 	// Size a multiple of ChunkSize.
 	Base uint64
@@ -120,6 +127,20 @@ type Config struct {
 	// all traffic at a common address with the index sealed inside the
 	// payload (paper §5.1).
 	EncryptRegAddrs bool
+	// Tenant names the session owner. It labels the static regions and
+	// the Shield's error text so multi-tenant failures are attributable;
+	// empty means the single-tenant default session.
+	Tenant string
+	// ArenaEnd extends the address space available to runtime-created
+	// protection zones past the last static region: zones must fit below
+	// the tag shadow, which starts at the page-aligned maximum of the
+	// static regions' end and ArenaEnd. Zero leaves only the static
+	// footprint (no headroom for dynamic zones beyond it).
+	ArenaEnd uint64
+	// DefaultTenantQuota bounds each tenant's DRAM and on-chip metadata
+	// footprint (zero fields are unlimited); Shield.SetTenantQuota
+	// overrides it per tenant.
+	DefaultTenantQuota mem.Quota
 }
 
 // Validate checks structural soundness: aligned, non-overlapping regions,
@@ -131,32 +152,42 @@ func (c Config) Validate() error {
 	regs := append([]RegionConfig(nil), c.Regions...)
 	sort.Slice(regs, func(i, j int) bool { return regs[i].Base < regs[j].Base })
 	for i, r := range regs {
-		if r.ChunkSize <= 0 || r.ChunkSize%aesx.BlockSize != 0 {
-			return fmt.Errorf("shield: region %q: chunk size %d must be a positive multiple of %d",
-				r.Name, r.ChunkSize, aesx.BlockSize)
-		}
-		if r.Size == 0 || r.Size%uint64(r.ChunkSize) != 0 {
-			return fmt.Errorf("shield: region %q: size %d not a multiple of chunk size %d",
-				r.Name, r.Size, r.ChunkSize)
-		}
-		if r.Base%uint64(r.ChunkSize) != 0 {
-			return fmt.Errorf("shield: region %q: base %#x not chunk-aligned", r.Name, r.Base)
-		}
-		if r.AESEngines < 1 {
-			return fmt.Errorf("shield: region %q: needs at least one AES engine", r.Name)
-		}
-		if !r.SBox.Valid() {
-			return fmt.Errorf("shield: region %q: invalid S-box parallelism %d", r.Name, r.SBox)
-		}
-		if r.KeySize != aesx.AES128 && r.KeySize != aesx.AES256 {
-			return fmt.Errorf("shield: region %q: invalid key size %d", r.Name, r.KeySize)
-		}
-		if r.MAC != HMAC && r.MAC != PMAC {
-			return fmt.Errorf("shield: region %q: invalid MAC kind %d", r.Name, r.MAC)
+		if err := r.validate(); err != nil {
+			return err
 		}
 		if i > 0 && regs[i-1].Base+regs[i-1].Size > r.Base {
 			return fmt.Errorf("shield: regions %q and %q overlap", regs[i-1].Name, r.Name)
 		}
+	}
+	return nil
+}
+
+// validate checks one region's structural soundness (alignment and engine
+// parameters); overlap is the container's concern (Config.Validate for
+// the static set, RegionTable for runtime-created zones).
+func (r RegionConfig) validate() error {
+	if r.ChunkSize <= 0 || r.ChunkSize%aesx.BlockSize != 0 {
+		return fmt.Errorf("shield: region %q: chunk size %d must be a positive multiple of %d",
+			r.Name, r.ChunkSize, aesx.BlockSize)
+	}
+	if r.Size == 0 || r.Size%uint64(r.ChunkSize) != 0 {
+		return fmt.Errorf("shield: region %q: size %d not a multiple of chunk size %d",
+			r.Name, r.Size, r.ChunkSize)
+	}
+	if r.Base%uint64(r.ChunkSize) != 0 {
+		return fmt.Errorf("shield: region %q: base %#x not chunk-aligned", r.Name, r.Base)
+	}
+	if r.AESEngines < 1 {
+		return fmt.Errorf("shield: region %q: needs at least one AES engine", r.Name)
+	}
+	if !r.SBox.Valid() {
+		return fmt.Errorf("shield: region %q: invalid S-box parallelism %d", r.Name, r.SBox)
+	}
+	if r.KeySize != aesx.AES128 && r.KeySize != aesx.AES256 {
+		return fmt.Errorf("shield: region %q: invalid key size %d", r.Name, r.KeySize)
+	}
+	if r.MAC != HMAC && r.MAC != PMAC {
+		return fmt.Errorf("shield: region %q: invalid MAC kind %d", r.Name, r.MAC)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"shef/internal/axi"
 	"shef/internal/crypto/aesx"
@@ -36,9 +37,12 @@ type engineSet struct {
 	params   perf.Params
 	seal     *sealer
 
-	// dramShare is the number of engine sets contending for this set's
-	// off-chip channel; each sees 1/share of the channel bandwidth.
-	dramShare int
+	// share points at the region table's materialised-set counter for
+	// this set's off-chip channel: each live set sees 1/share of the
+	// channel bandwidth. The pointer is read atomically on every charge,
+	// so contention tracks who is actually live — an idle tenant's
+	// reclaimed zone stops costing its neighbours bandwidth.
+	share *atomic.Int64
 
 	// DRAM layout: ciphertext is identity-mapped at cfg.Base; tags live in
 	// a reserved area starting at tagBase.
@@ -75,8 +79,12 @@ type engineSet struct {
 	initialized []bool
 
 	// ocmBytes is the on-chip budget this set holds, returned to the pool
-	// when a re-provisioning replaces the set.
-	ocmBytes int
+	// when a re-provisioning replaces the set. metaOCMBytes is the
+	// durable-metadata slice of it (freshness counters and valid bits) —
+	// an idle-zone reclaim keeps that slice resident so the zone's data
+	// survives the engine set.
+	ocmBytes     int
+	metaOCMBytes int
 
 	// linePool recycles buffer lines so the chunked hot path allocates
 	// nothing in steady state.
@@ -198,14 +206,42 @@ func newEngineSet(cfg RegionConfig, regionID uint32, dek []byte, tagBase uint64,
 			s.releaseOCM(ocm)
 			return nil, err
 		}
+		s.metaOCMBytes += cfg.Chunks() * CounterSize
 	}
 	if err := alloc((cfg.Chunks()+7)/8, "valid bits"); err != nil {
 		s.releaseOCM(ocm)
 		return nil, err
 	}
+	s.metaOCMBytes += (cfg.Chunks() + 7) / 8
 	s.counters = make([]uint32, cfg.Chunks())
 	s.initialized = make([]bool, cfg.Chunks())
 	return s, nil
+}
+
+// adoptMeta restores durable metadata a reclaim preserved (the zone's
+// freshness counters and valid bits). Called before the set is published,
+// so no lock is needed.
+func (s *engineSet) adoptMeta(counters []uint32, initialized []bool) {
+	if counters != nil {
+		s.counters = counters
+	}
+	if initialized != nil {
+		s.initialized = initialized
+	}
+}
+
+// detachMeta retires the set but keeps its durable metadata resident:
+// the buffer and window budget returns to the pool, the counters and
+// valid bits (still charged on-chip) transfer to the caller for the next
+// materialisation.
+func (s *engineSet) detachMeta(ocm *mem.OCM) (counters []uint32, initialized []bool, metaBytes int) {
+	s.stopWorkers()
+	metaBytes = s.metaOCMBytes
+	if s.ocmBytes > metaBytes {
+		ocm.Free(s.ocmBytes - metaBytes)
+	}
+	s.ocmBytes, s.metaOCMBytes = 0, 0
+	return s.counters, s.initialized, metaBytes
 }
 
 // releaseOCM returns the set's on-chip budget to the pool (the partial
@@ -336,11 +372,25 @@ const hmacEngineCyclesPerBlock = 54
 // burst for data plus its tag (fetched in the same request window) and the
 // crypto stage, partially overlapped.
 //
+// shareNow reads the channel's live materialised-set count for the
+// bandwidth-share charge; an unwired set charges as the sole occupant.
+//
+//shef:hotpath
+func (s *engineSet) shareNow() int {
+	if s.share == nil {
+		return 1
+	}
+	if n := s.share.Load(); n > 1 {
+		return int(n)
+	}
+	return 1
+}
+
 //shef:hotpath
 func (s *engineSet) chargeChunk() {
 	// The set experiences its bandwidth share; the channel-occupancy bound
 	// (Report.MemoryCycles) counts the bytes once at full channel rate.
-	dram := s.params.DRAMCyclesShared(s.cfg.ChunkSize+TagSize, s.dramShare)
+	dram := s.params.DRAMCyclesShared(s.cfg.ChunkSize+TagSize, s.shareNow())
 	crypto := s.cryptoCycles()
 	s.busyCycles += s.params.ChunkTime(dram, crypto) + s.params.ChunkIssueCycles
 	s.dramCycles += s.params.DRAMCycles(s.cfg.ChunkSize + TagSize)
@@ -523,7 +573,7 @@ func (s *engineSet) prefetchRun(c0 int) error {
 	} else {
 		runBytes := n * (cs + TagSize)
 		extraBursts := uint64(axi.BurstsFor(runBytes) - 1)
-		dramBusy := s.params.DRAMCyclesShared(runBytes, s.dramShare) + extraBursts*s.params.DRAMRequestCycles
+		dramBusy := s.params.DRAMCyclesShared(runBytes, s.shareNow()) + extraBursts*s.params.DRAMRequestCycles
 		dramBus := s.params.DRAMCycles(runBytes) + extraBursts*s.params.DRAMRequestCycles
 		pool, hmac := s.cryptoStages(n)
 		s.chargeOverlapped(dramBusy, dramBus, pool, hmac, uint64(n*cs)/64, !s.seqStreak)
@@ -647,7 +697,7 @@ func (s *engineSet) writebackChunks(chunks []int, fillDrain bool) error {
 		}
 		runBytes := n * (cs + TagSize)
 		extraBursts := uint64(axi.BurstsFor(runBytes) - 1)
-		dramBusy := s.params.DRAMCyclesShared(runBytes, s.dramShare) + extraBursts*s.params.DRAMRequestCycles
+		dramBusy := s.params.DRAMCyclesShared(runBytes, s.shareNow()) + extraBursts*s.params.DRAMRequestCycles
 		dramBus := s.params.DRAMCycles(runBytes) + extraBursts*s.params.DRAMRequestCycles
 		pool, hmac := s.cryptoStages(n)
 		s.chargeOverlapped(dramBusy, dramBus, pool, hmac, uint64(n*cs)/64, first)

@@ -91,7 +91,7 @@ func TestShieldMatchesFlatMemory(t *testing.T) {
 // exactly on write-backs.
 func TestCounterMonotonicity(t *testing.T) {
 	rig := newRig(t, simpleConfig())
-	set := rig.shield.sets[0]
+	set := rig.shield.table.snapshot()[0].set.Load()
 	prev := make([]uint32, len(set.counters))
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 200; i++ {

@@ -294,16 +294,12 @@ func OpenRegionData(cfg RegionConfig, regionID uint32, dek, ct, tags []byte, cou
 func (s *Shield) MarkPreloaded(region string) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if !s.provisioned {
-		return errors.New("shield: not provisioned")
+	set, err := s.namedSet(s.cfg.Tenant, region)
+	if err != nil {
+		return err
 	}
-	for _, set := range s.sets {
-		if set.cfg.Name == region {
-			set.markPreloaded()
-			return nil
-		}
-	}
-	return fmt.Errorf("shield: unknown region %q", region)
+	set.markPreloaded()
+	return nil
 }
 
 // MarkPreloadedRange is MarkPreloaded for a partial DMA: only the chunks
@@ -315,7 +311,7 @@ func (s *Shield) MarkPreloaded(region string) error {
 func (s *Shield) MarkPreloadedRange(region string, off, n uint64) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	set, err := s.namedSet(region)
+	set, err := s.namedSet(s.cfg.Tenant, region)
 	if err != nil {
 		return err
 	}
@@ -418,17 +414,13 @@ type CounterSnapshot struct {
 func (s *Shield) CounterSnapshot(region string) (CounterSnapshot, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if !s.provisioned {
-		return CounterSnapshot{}, errors.New("shield: not provisioned")
+	set, err := s.namedSet(s.cfg.Tenant, region)
+	if err != nil {
+		return CounterSnapshot{}, err
 	}
-	for _, set := range s.sets {
-		if set.cfg.Name == region {
-			snap := CounterSnapshot{Region: region, Counters: set.counterSnapshot()}
-			snap.Tag = s.regs.macSnapshot(region, snap.Counters)
-			return snap, nil
-		}
-	}
-	return CounterSnapshot{}, fmt.Errorf("shield: unknown region %q", region)
+	snap := CounterSnapshot{Region: region, Counters: set.counterSnapshot()}
+	snap.Tag = s.regs.macSnapshot(region, snap.Counters)
+	return snap, nil
 }
 
 // VerifyCounterSnapshot checks a snapshot on the Data Owner side, given

@@ -37,15 +37,33 @@ type Shield struct {
 	provMu sync.Mutex
 
 	// mu guards the session state below it: ProvisionLoadKey replaces the
-	// engine sets and register file wholesale (key rotation), so the data
-	// path holds the read side while a reprovision holds the write side.
+	// region table and register file wholesale (key rotation), so the data
+	// path holds the read side while a reprovision — or a zone teardown,
+	// which must also quiesce in-flight bursts — holds the write side.
 	mu          sync.RWMutex
 	provisioned bool
-	sets        []*engineSet
+	table       *RegionTable
 	regs        *RegisterFile
 	initExtra   uint64
+	// dek is the armed Data Encryption Key, retained so runtime-created
+	// zones and lazy materialisation can derive per-region keys after
+	// provisioning.
+	dek []byte
+
+	// acct meters per-tenant DRAM and OCM charges; it outlives
+	// provisionings so quota overrides survive key rotation.
+	acct *mem.Accountant
 
 	tagBase uint64
+}
+
+// tenantLabel renders a tenant identity for error text; the empty
+// single-tenant session reads as "default".
+func tenantLabel(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
 }
 
 // New builds a Shield around cfg. priv is the private Shield Encryption
@@ -62,7 +80,7 @@ func New(cfg Config, priv *schnorr.PrivateKey, port axi.MemoryPort, ocm *mem.OCM
 	if priv == nil {
 		return nil, errors.New("shield: missing Shield Encryption Key")
 	}
-	var maxEnd uint64
+	maxEnd := cfg.ArenaEnd
 	for _, r := range cfg.Regions {
 		if end := r.Base + r.Size; end > maxEnd {
 			maxEnd = end
@@ -75,6 +93,7 @@ func New(cfg Config, priv *schnorr.PrivateKey, port axi.MemoryPort, ocm *mem.OCM
 		priv:    priv,
 		port:    port,
 		ocm:     ocm,
+		acct:    mem.NewAccountant(cfg.DefaultTenantQuota),
 		tagBase: (maxEnd + tagAlign - 1) / tagAlign * tagAlign,
 	}
 	return s, nil
@@ -104,47 +123,118 @@ func (s *Shield) ProvisionLoadKey(lk *keywrap.Wrapped) error {
 	}
 	// Clear the previous session. The write lock waits out every in-flight
 	// burst (they hold the read side for their full duration), so this is
-	// a quiescent point.
+	// a quiescent point. Runtime-created zones die with the session: a key
+	// rotation is a whole-device handover.
 	s.mu.Lock()
-	old := s.sets
-	s.sets, s.regs, s.provisioned = nil, nil, false
+	old := s.table
+	s.table, s.regs, s.provisioned = nil, nil, false
+	s.dek = nil
 	s.mu.Unlock()
-	for _, set := range old {
-		set.releaseOCM(s.ocm)
+	if old != nil {
+		old.releaseAll(s.ocm)
 	}
 
-	tagOff := s.tagBase
-	perChannel := make(map[int]int)
-	for _, rc := range s.cfg.Regions {
-		perChannel[rc.Channel]++
-	}
-	sets := make([]*engineSet, 0, len(s.cfg.Regions))
+	// The static Config.Regions are a compatibility shim over the virtual
+	// layer: each becomes a session-tenant zone, inserted in config order
+	// (preserving the fixed-array design's region IDs and tag layout) and
+	// materialised eagerly so provisioning fails up front, DRAM shares
+	// match the static counts, and the first burst pays no build cost.
+	table := newRegionTable(s.tagBase, s.acct, s.params)
 	fail := func(err error) error {
-		for _, set := range sets {
-			set.releaseOCM(s.ocm)
-		}
+		table.releaseAll(s.ocm)
 		return err
 	}
-	for i, rc := range s.cfg.Regions {
-		set, err := newEngineSet(rc, uint32(i+1), dek, tagOff, s.port, s.ocm, s.params)
+	for _, rc := range s.cfg.Regions {
+		rc.Tenant = s.cfg.Tenant
+		r, err := table.create(rc, s.tagBase)
 		if err != nil {
 			return fail(err)
 		}
-		set.dramShare = perChannel[rc.Channel]
-		sets = append(sets, set)
-		tagOff += uint64(rc.Chunks() * TagSize)
+		if _, err := table.materialize(r, dek, s.port, s.ocm, s.params); err != nil {
+			return fail(err)
+		}
 	}
 	regs, err := newRegisterFile(s.cfg, dek, s.params)
 	if err != nil {
 		return fail(err)
 	}
 	s.mu.Lock()
-	s.sets = sets
+	s.table = table
 	s.regs = regs
+	s.dek = dek
 	s.provisioned = true
 	s.initExtra = s.params.ShieldInitCycles
 	s.mu.Unlock()
 	return nil
+}
+
+// CreateRegion carves a new protection zone at runtime, owned by
+// rc.Tenant and charged against that tenant's quota (a *mem.QuotaError —
+// errors.Is(err, mem.ErrQuotaExceeded) — reports an over-budget tenant).
+// The zone must fit below the tag shadow: static regions plus
+// Config.ArenaEnd bound the usable address space. The zone starts idle —
+// no engine set, worker pool, or on-chip memory — and materialises on
+// first access.
+func (s *Shield) CreateRegion(rc RegionConfig) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.provisioned {
+		return errors.New("shield: not provisioned")
+	}
+	_, err := s.table.create(rc, s.tagBase)
+	return err
+}
+
+// DestroyRegion tears down a tenant's zone: traffic quiesces, the engine
+// set (if materialised) is retired with its dirty lines discarded — zone
+// destruction is erasure, the ciphertext keys die with the descriptor —
+// and the tenant's quota charge is returned. Cached translations for the
+// zone are shot down.
+func (s *Shield) DestroyRegion(tenant, region string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.provisioned {
+		return errors.New("shield: not provisioned")
+	}
+	return s.table.destroy(tenant, region, s.ocm)
+}
+
+// ReclaimRegion retires an idle zone's engine set — dirty lines are
+// written back, then the worker pool, buffer, and counters return to the
+// device's on-chip pool — while the zone descriptor and its quota
+// reservation stay, so the next access re-materialises transparently.
+// Serving tiers call it when a tenant goes quiet.
+func (s *Shield) ReclaimRegion(tenant, region string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.provisioned {
+		return errors.New("shield: not provisioned")
+	}
+	r := s.table.named(tenant, region)
+	if r == nil {
+		return fmt.Errorf("shield: tenant %q: unknown region %q", tenantLabel(tenant), region)
+	}
+	return s.table.reclaim(r, s.ocm)
+}
+
+// SetTenantQuota overrides the default per-tenant quota for one tenant.
+func (s *Shield) SetTenantQuota(tenant string, q mem.Quota) { s.acct.SetQuota(tenant, q) }
+
+// TenantUsage reports a tenant's current quota charges.
+func (s *Shield) TenantUsage(tenant string) mem.Usage { return s.acct.UsageFor(tenant) }
+
+// Tenants lists tenants holding live zones, sorted.
+func (s *Shield) Tenants() []string { return s.acct.Tenants() }
+
+// Zones lists all protection zones in base order, flagging which
+// currently hold a materialised engine set.
+func (s *Shield) Zones() []TenantZoneStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.provisioned {
+		return nil
+	}
+	return s.table.zoneStats()
 }
 
 // Provisioned reports whether a Data Encryption Key is armed.
@@ -161,18 +251,24 @@ func (s *Shield) Registers() *RegisterFile {
 	return s.regs
 }
 
-// setFor routes an address to its engine set. Callers hold s.mu (either
-// side); the returned set additionally serialises on its own mutex.
+// setFor routes an address to its engine set through the region-lookup
+// cache: a hit is a lock-free, allocation-free O(1) probe regardless of
+// zone count; a miss walks the table and refills the cache. Idle zones
+// materialise their engine set here, on first touch. Callers hold s.mu
+// (either side); the returned set additionally serialises on its own
+// mutex.
 func (s *Shield) setFor(addr uint64) (*engineSet, error) {
 	if !s.provisioned {
 		return nil, errors.New("shield: not provisioned with a Data Encryption Key")
 	}
-	for _, set := range s.sets {
-		if addr >= set.cfg.Base && addr < set.cfg.Base+set.cfg.Size {
-			return set, nil
-		}
+	r := s.table.lookup(addr)
+	if r == nil {
+		return nil, fmt.Errorf("shield: address %#x outside all configured regions (isolation violation)", addr)
 	}
-	return nil, fmt.Errorf("shield: address %#x outside all configured regions (isolation violation)", addr)
+	if set := r.set.Load(); set != nil {
+		return set, nil
+	}
+	return s.table.materialize(r, s.dek, s.port, s.ocm, s.params)
 }
 
 // ReadBurst implements axi.MemoryPort for the accelerator: a plaintext
@@ -225,12 +321,33 @@ func (s *Shield) Flush() error {
 	if !s.provisioned {
 		return errors.New("shield: not provisioned")
 	}
-	if len(s.sets) == 1 {
-		return s.sets[0].flush()
+	// Only materialised sets hold dirty lines; idle zones have nothing to
+	// write back. The single-live-set case — every Real flush benchmark,
+	// and any single-region session — completes without allocating.
+	zones := s.table.snapshot()
+	var only *engineSet
+	live := 0
+	for _, r := range zones {
+		if set := r.set.Load(); set != nil {
+			only = set
+			live++
+		}
 	}
-	errs := make([]error, len(s.sets))
+	switch live {
+	case 0:
+		return nil
+	case 1:
+		return only.flush()
+	}
+	sets := make([]*engineSet, 0, live)
+	for _, r := range zones {
+		if set := r.set.Load(); set != nil {
+			sets = append(sets, set)
+		}
+	}
+	errs := make([]error, len(sets))
 	var wg sync.WaitGroup
-	for i, set := range s.sets {
+	for i, set := range sets {
 		wg.Add(1)
 		go func(i int, set *engineSet) {
 			defer wg.Done()
@@ -246,22 +363,30 @@ func (s *Shield) Flush() error {
 func (s *Shield) InvalidateClean() {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, set := range s.sets {
-		set.invalidateClean()
+	if !s.provisioned {
+		return
+	}
+	for _, r := range s.table.snapshot() {
+		if set := r.set.Load(); set != nil {
+			set.invalidateClean()
+		}
 	}
 }
 
-// namedSet routes a region name to its engine set. Callers hold s.mu.
-func (s *Shield) namedSet(region string) (*engineSet, error) {
+// namedSet routes a tenant's region name to its engine set,
+// materialising an idle zone on the way. Callers hold s.mu.
+func (s *Shield) namedSet(tenant, region string) (*engineSet, error) {
 	if !s.provisioned {
 		return nil, errors.New("shield: not provisioned")
 	}
-	for _, set := range s.sets {
-		if set.cfg.Name == region {
-			return set, nil
-		}
+	r := s.table.named(tenant, region)
+	if r == nil {
+		return nil, fmt.Errorf("shield: tenant %q: unknown region %q", tenantLabel(tenant), region)
 	}
-	return nil, fmt.Errorf("shield: unknown region %q", region)
+	if set := r.set.Load(); set != nil {
+		return set, nil
+	}
+	return s.table.materialize(r, s.dek, s.port, s.ocm, s.params)
 }
 
 // FlushRegion writes back the dirty buffer lines of one region only.
@@ -269,9 +394,16 @@ func (s *Shield) namedSet(region string) (*engineSet, error) {
 // tls window) use it so a staging flush does not pay a fan-out over —
 // or disturb the write-back schedule of — every other engine set.
 func (s *Shield) FlushRegion(region string) error {
+	return s.FlushTenantRegion(s.cfg.Tenant, region)
+}
+
+// FlushTenantRegion is FlushRegion for a runtime-created zone: the flush
+// is keyed by the owning tenant, so two tenants may both name a region
+// "store" without aliasing.
+func (s *Shield) FlushTenantRegion(tenant, region string) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	set, err := s.namedSet(region)
+	set, err := s.namedSet(tenant, region)
 	if err != nil {
 		return err
 	}
@@ -287,7 +419,7 @@ func (s *Shield) FlushRegion(region string) error {
 func (s *Shield) InvalidateCleanRegion(region string) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	set, err := s.namedSet(region)
+	set, err := s.namedSet(s.cfg.Tenant, region)
 	if err != nil {
 		return err
 	}
@@ -322,6 +454,16 @@ type RegionStats struct {
 	DRAMCycles               uint64
 }
 
+// RegionLookupStats is the burst decoder's region-resolution activity:
+// lookup-cache hits and misses, and the simulated cycles they cost
+// (perf.Params.RegionLookupCycles). The counts are deterministic for a
+// deterministic access sequence, which is what lets benchtab gate lookup
+// overhead as a sim-* metric.
+type RegionLookupStats struct {
+	Hits, Misses uint64
+	Cycles       uint64
+}
+
 // Report summarises simulated cost since provisioning.
 type Report struct {
 	Regions []RegionStats
@@ -329,6 +471,8 @@ type Report struct {
 	RegisterCycles uint64
 	// InitCycles is the one-time arming cost.
 	InitCycles uint64
+	// Lookup is the region-resolution cost on the burst-decode path.
+	Lookup RegionLookupStats
 }
 
 // MemoryCycles is the simulated memory-path time: engine sets run in
@@ -352,19 +496,30 @@ func (r Report) MemoryCycles() uint64 {
 	return best
 }
 
-// TotalCycles includes register traffic and initialisation.
+// TotalCycles includes register traffic, region resolution, and
+// initialisation.
 func (r Report) TotalCycles() uint64 {
-	return r.MemoryCycles() + r.RegisterCycles + r.InitCycles
+	return r.MemoryCycles() + r.RegisterCycles + r.InitCycles + r.Lookup.Cycles
 }
 
 // Report captures current counters.
 func (s *Shield) Report() Report {
 	s.mu.RLock()
-	sets, regs, initExtra := s.sets, s.regs, s.initExtra
+	table, regs, initExtra := s.table, s.regs, s.initExtra
 	s.mu.RUnlock()
 	rep := Report{InitCycles: initExtra}
-	for _, set := range sets {
-		rep.Regions = append(rep.Regions, set.stats())
+	if table != nil {
+		for _, r := range table.snapshot() {
+			if set := r.set.Load(); set != nil {
+				rep.Regions = append(rep.Regions, set.stats())
+			}
+		}
+		hits, misses := table.lookupStats()
+		rep.Lookup = RegionLookupStats{
+			Hits:   hits,
+			Misses: misses,
+			Cycles: s.params.RegionLookupCycles(hits, misses),
+		}
 	}
 	if regs != nil {
 		rep.RegisterCycles = regs.cyclesSnapshot()
@@ -375,11 +530,16 @@ func (s *Shield) Report() Report {
 // ResetStats zeroes activity counters (keeps keys and buffer contents).
 func (s *Shield) ResetStats() {
 	s.mu.Lock()
-	sets, regs := s.sets, s.regs
+	table, regs := s.table, s.regs
 	s.initExtra = 0
 	s.mu.Unlock()
-	for _, set := range sets {
-		set.resetStats()
+	if table != nil {
+		for _, r := range table.snapshot() {
+			if set := r.set.Load(); set != nil {
+				set.resetStats()
+			}
+		}
+		table.resetLookupStats()
 	}
 	if regs != nil {
 		regs.resetCycles()

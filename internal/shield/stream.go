@@ -86,7 +86,7 @@ func (s *engineSet) storeRun(win *streamWindow, slot0, chunk0, runChunks int) (d
 func (s *engineSet) runCharge(runChunks int) (dramBusy, dramBus uint64) {
 	runBytes := runChunks * (s.cfg.ChunkSize + TagSize)
 	extraBursts := uint64(axi.BurstsFor(runBytes) - 1)
-	return s.params.DRAMCyclesShared(runBytes, s.dramShare) + extraBursts*s.params.DRAMRequestCycles,
+	return s.params.DRAMCyclesShared(runBytes, s.shareNow()) + extraBursts*s.params.DRAMRequestCycles,
 		s.params.DRAMCycles(runBytes) + extraBursts*s.params.DRAMRequestCycles
 }
 
